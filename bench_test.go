@@ -1,0 +1,240 @@
+// Package repro's top-level benchmarks regenerate (in miniature) every
+// figure and table of the Q-DPM reproduction, one benchmark per artifact,
+// plus the micro-benchmarks behind Table R1. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Full-size regenerations (paper-scale run lengths, all seeds) are done by
+// cmd/qdpm-bench; these benchmarks use shortened runs so the suite stays
+// minutes-scale while still exercising the identical code paths.
+package repro_test
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/mdp"
+	"repro/internal/qlearn"
+	"repro/internal/rng"
+	"repro/internal/stochpm"
+	"repro/internal/workload"
+)
+
+// BenchmarkFig1Convergence regenerates the Fig. 1 series (stationary
+// convergence of Q-DPM onto the analytically optimal policy).
+func BenchmarkFig1Convergence(b *testing.B) {
+	cfg := experiment.Fig1Config{
+		ArrivalP: 0.1,
+		Slots:    60000,
+		Window:   3000,
+		Stride:   2000,
+		Seeds:    []uint64{101},
+	}
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.Fig1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fig.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2RapidResponse regenerates the Fig. 2 series (piecewise-
+// stationary input, Q-DPM vs the model-based adaptive pipeline).
+func BenchmarkFig2RapidResponse(b *testing.B) {
+	cfg := experiment.Fig2Config{
+		Rates:                []float64{0.02, 0.30},
+		SegmentSlots:         20000,
+		Window:               2500,
+		Stride:               1000,
+		Seeds:                []uint64{201},
+		OptimizeLatencySlots: 1000,
+	}
+	for i := 0; i < b.N; i++ {
+		fig, err := experiment.Fig2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fig.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableR1QStep is Table R1's first column: one Q-DPM decision +
+// update — the technique's entire per-interval runtime.
+func BenchmarkTableR1QStep(b *testing.B) {
+	dev, err := experiment.CanonDevice()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.New(core.Config{
+		Device: dev, QueueCap: experiment.CanonQueueCap,
+		LatencyWeight: experiment.CanonLatencyWeight,
+		Stream:        rng.New(1),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	agent := m.Agent()
+	stream := rng.New(2)
+	legal := []int{0, 1, 2}
+	n := m.NumStates()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := i % n
+		a, _ := agent.SelectAction(s, legal, stream)
+		agent.Update(s, a, -0.5, (s+1)%n, legal, 1, stream)
+	}
+}
+
+// BenchmarkTableR1LPSolve is Table R1's LP column: one model-based policy
+// re-optimization (the "extremely slow" step of the paper's anecdote).
+func BenchmarkTableR1LPSolve(b *testing.B) {
+	dev, err := experiment.CanonDevice()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := mdp.BuildDPM(mdp.DPMConfig{
+		Device: dev, ArrivalP: 0.15,
+		QueueCap:      experiment.CanonQueueCap,
+		LatencyWeight: experiment.CanonLatencyWeight,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stochpm.SolveLP(d, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableR1RVISolve is Table R1's value-iteration column.
+func BenchmarkTableR1RVISolve(b *testing.B) {
+	dev, err := experiment.CanonDevice()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := mdp.BuildDPM(mdp.DPMConfig{
+		Device: dev, ArrivalP: 0.15,
+		QueueCap:      experiment.CanonQueueCap,
+		LatencyWeight: experiment.CanonLatencyWeight,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.AverageCostRVI(1e-6, 500000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableR1ModelBuild measures constructing the explicit DTMDP the
+// model-based pipeline must maintain (Q-DPM never builds it).
+func BenchmarkTableR1ModelBuild(b *testing.B) {
+	dev, err := experiment.CanonDevice()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := mdp.DPMConfig{
+		Device: dev, ArrivalP: 0.15,
+		QueueCap:      experiment.CanonQueueCap,
+		LatencyWeight: experiment.CanonLatencyWeight,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mdp.BuildDPM(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableR2Row measures one Table R2 cell: a replicated stationary
+// comparison run for one policy at one rate.
+func BenchmarkTableR2Row(b *testing.B) {
+	dev, err := experiment.CanonDevice()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := experiment.Scenario{
+		Name: "bench-r2", Device: dev,
+		QueueCap:      experiment.CanonQueueCap,
+		LatencyWeight: experiment.CanonLatencyWeight,
+		Slots:         20000,
+		Workload:      benchBernoulli(0.1),
+	}
+	pf := experiment.QDPMFactory(dev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunReplicated(sc, pf, []uint64{1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableR3Tracking measures one Table R3 row: the Fig. 2 scenario
+// under the model-based adaptive pipeline (estimator + CUSUM + re-solve).
+func BenchmarkTableR3Tracking(b *testing.B) {
+	cfg := experiment.Fig2Config{
+		Rates:                []float64{0.02, 0.30},
+		SegmentSlots:         15000,
+		Window:               2000,
+		Stride:               1000,
+		Seeds:                []uint64{31},
+		OptimizeLatencySlots: 1000,
+	}
+	sc, _, err := experiment.Fig2Scenario(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pf := experiment.AdaptiveLPFactory(sc.Device, 0.02, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunOne(sc, pf, 31, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableR4Jitter measures one Table R4 cell: Q-DPM under
+// continuously jittering parameters.
+func BenchmarkTableR4Jitter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.TableR4(0.15, 0.2, 2000, 20000, []uint64{41}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationVariant measures one ablation-grid cell (the SARSA
+// variant on the Fig. 1 scenario).
+func BenchmarkAblationVariant(b *testing.B) {
+	specs := []experiment.AblationSpec{
+		{Name: "sarsa", Mut: func(c *core.Config) { c.Rule = qlearn.SARSA }},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.TableAblations(specs, 0.1, 20000, []uint64{51}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchBernoulli returns a workload factory for a Bernoulli arrival
+// process at rate p.
+func benchBernoulli(p float64) func() workload.Arrivals {
+	return func() workload.Arrivals {
+		b, err := workload.NewBernoulli(p)
+		if err != nil {
+			panic(err)
+		}
+		return b
+	}
+}

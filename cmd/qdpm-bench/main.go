@@ -1,0 +1,167 @@
+// Command qdpm-bench regenerates every figure and table of the Q-DPM
+// reproduction (see DESIGN.md §4 for the experiment index):
+//
+//	qdpm-bench -exp fig1     # Fig. 1 — convergence on optimal policy
+//	qdpm-bench -exp fig2     # Fig. 2 — rapid response
+//	qdpm-bench -exp r1       # Table R1 — runtime/memory
+//	qdpm-bench -exp r2       # Table R2 — stationary comparison
+//	qdpm-bench -exp r3       # Table R3 — nonstationary tracking
+//	qdpm-bench -exp r4       # Table R4 — small-variation tolerance
+//	qdpm-bench -exp ablate   # design-choice ablations
+//	qdpm-bench -exp all      # everything
+//
+// -quick shrinks run lengths ~5x for a fast smoke pass. Output is plain
+// text: an ASCII chart plus the numeric series for figures, aligned
+// tables otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig1|fig2|r1|r2|r3|r4|ablate|all")
+	quick := flag.Bool("quick", false, "shrink run lengths ~5x")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		fmt.Printf("\n##### %s (started %s)\n\n", name, time.Now().Format(time.TimeOnly))
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "qdpm-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	matched := false
+
+	if want("fig1") {
+		matched = true
+		run("fig1", func() error {
+			cfg := experiment.DefaultFig1()
+			if *quick {
+				cfg.Slots = 60000
+				cfg.Seeds = cfg.Seeds[:2]
+			}
+			fig, err := experiment.Fig1(cfg)
+			if err != nil {
+				return err
+			}
+			return fig.Render(os.Stdout)
+		})
+	}
+	if want("fig2") {
+		matched = true
+		run("fig2", func() error {
+			cfg := experiment.DefaultFig2()
+			if *quick {
+				cfg.SegmentSlots = 12000
+				cfg.Seeds = cfg.Seeds[:1]
+			}
+			fig, err := experiment.Fig2(cfg)
+			if err != nil {
+				return err
+			}
+			return fig.Render(os.Stdout)
+		})
+	}
+	if want("r1") {
+		matched = true
+		run("r1", func() error {
+			caps := []int{3, 8, 20, 40}
+			if *quick {
+				caps = []int{3, 8}
+			}
+			tab, _, err := experiment.TableR1(caps)
+			if err != nil {
+				return err
+			}
+			experiment.RenderTable(os.Stdout, tab.Title, tab.Headers, tab.Rows)
+			fmt.Printf("# %s\n", tab.Note)
+			return nil
+		})
+	}
+	if want("r2") {
+		matched = true
+		run("r2", func() error {
+			slots := int64(200000)
+			seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+			if *quick {
+				slots = 40000
+				seeds = seeds[:3]
+			}
+			tab, err := experiment.TableR2([]float64{0.02, 0.08, 0.3}, slots, seeds)
+			if err != nil {
+				return err
+			}
+			experiment.RenderTable(os.Stdout, tab.Title, tab.Headers, tab.Rows)
+			fmt.Printf("# %s\n", tab.Note)
+			return nil
+		})
+	}
+	if want("r3") {
+		matched = true
+		run("r3", func() error {
+			cfg := experiment.DefaultFig2()
+			if *quick {
+				cfg.SegmentSlots = 12000
+			}
+			tab, err := experiment.TableR3(cfg)
+			if err != nil {
+				return err
+			}
+			experiment.RenderTable(os.Stdout, tab.Title, tab.Headers, tab.Rows)
+			fmt.Printf("# %s\n", tab.Note)
+			return nil
+		})
+	}
+	if want("r4") {
+		matched = true
+		run("r4", func() error {
+			slots := int64(150000)
+			seeds := []uint64{11, 12, 13, 14}
+			if *quick {
+				slots = 30000
+				seeds = seeds[:2]
+			}
+			tab, err := experiment.TableR4(0.15, 0.2, 5000, slots, seeds)
+			if err != nil {
+				return err
+			}
+			experiment.RenderTable(os.Stdout, tab.Title, tab.Headers, tab.Rows)
+			fmt.Printf("# %s\n", tab.Note)
+			return nil
+		})
+	}
+	if want("ablate") {
+		matched = true
+		run("ablate", func() error {
+			slots := int64(150000)
+			seeds := []uint64{21, 22, 23}
+			specs := experiment.DefaultAblations()
+			if *quick {
+				slots = 40000
+				seeds = seeds[:1]
+			}
+			tab, err := experiment.TableAblations(specs, 0.1, slots, seeds)
+			if err != nil {
+				return err
+			}
+			experiment.RenderTable(os.Stdout, tab.Title, tab.Headers, tab.Rows)
+			fmt.Printf("# %s\n", tab.Note)
+			return nil
+		})
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "qdpm-bench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

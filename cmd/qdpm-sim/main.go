@@ -1,0 +1,186 @@
+// Command qdpm-sim runs one power-management simulation and prints a
+// metrics report:
+//
+//	qdpm-sim -device synthetic3 -policy q-dpm -rate 0.1 -slots 200000
+//	qdpm-sim -device hdd -policy timeout -timeout 16 -workload onoff
+//	qdpm-sim -device wlan -policy optimal -rate 0.3
+//
+// Policies: q-dpm, q-dpm-sarsa, q-dpm-double, q-dpm-fuzzy, optimal,
+// adaptive-lp, always-on, greedy-off, timeout, adaptive-timeout,
+// predictive. Workloads: bernoulli (default), poisson, onoff, pareto.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/dist"
+	"repro/internal/mdp"
+	"repro/internal/policy"
+	"repro/internal/qlearn"
+	"repro/internal/rng"
+	"repro/internal/slotsim"
+	"repro/internal/stochpm"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qdpm-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		devName  = flag.String("device", "synthetic3", "catalog device: synthetic3|hdd|wlan|sensor-radio|two-state")
+		polName  = flag.String("policy", "q-dpm", "power-management policy")
+		wlName   = flag.String("workload", "bernoulli", "arrival process: bernoulli|poisson|onoff|pareto")
+		rate     = flag.Float64("rate", 0.1, "mean arrivals per slot")
+		slotDur  = flag.Float64("slot", 0.5, "slot duration in seconds")
+		slots    = flag.Int64("slots", 200000, "slots to simulate")
+		seed     = flag.Uint64("seed", 1, "rng seed")
+		queueCap = flag.Int("qcap", 8, "queue capacity")
+		latW     = flag.Float64("latw", 0.3, "latency weight (J per request-slot)")
+		timeout  = flag.Int64("timeout", 8, "timeout slots (timeout policy)")
+	)
+	flag.Parse()
+
+	psm, err := device.Lookup(*devName)
+	if err != nil {
+		return err
+	}
+	dev, err := psm.Slot(*slotDur)
+	if err != nil {
+		return err
+	}
+
+	arr, err := buildWorkload(*wlName, *rate)
+	if err != nil {
+		return err
+	}
+
+	root := rng.New(*seed)
+	polStream := root.Split()
+	simStream := root.Split()
+
+	pol, err := buildPolicy(*polName, dev, *queueCap, *latW, *rate, *timeout, polStream)
+	if err != nil {
+		return err
+	}
+
+	sim, err := slotsim.New(slotsim.Config{
+		Device:        dev,
+		Arrivals:      arr,
+		QueueCap:      *queueCap,
+		Policy:        pol,
+		Stream:        simStream,
+		LatencyWeight: *latW,
+	})
+	if err != nil {
+		return err
+	}
+	m, err := sim.Run(*slots, nil)
+	if err != nil {
+		return err
+	}
+
+	maxPower := dev.MaxPowerEnergy() / dev.SlotDuration
+	fmt.Printf("device        %s (%d states, slot %.3gs)\n", psm.Name, psm.NumStates(), dev.SlotDuration)
+	fmt.Printf("workload      %s\n", arr)
+	fmt.Printf("policy        %s\n", pol.Name())
+	fmt.Printf("slots         %d (%.1f s simulated)\n", m.Slots, float64(m.Slots)*dev.SlotDuration)
+	fmt.Printf("energy        %.2f J\n", m.EnergyJ)
+	fmt.Printf("avg power     %.4f W (always-on %.4f W)\n", m.AvgPowerW(dev.SlotDuration), maxPower)
+	fmt.Printf("energy red.   %.1f%%\n", 100*(1-m.AvgPowerW(dev.SlotDuration)/maxPower))
+	fmt.Printf("avg cost      %.4f J/slot (energy + %.3g×backlog)\n", m.AvgCost(), *latW)
+	fmt.Printf("requests      %d arrived, %d served, %d lost (%.2f%%)\n",
+		m.Arrived, m.Served, m.Lost, 100*m.LossRate())
+	fmt.Printf("mean wait     %.3f slots (%.3g s)\n", m.MeanWaitSlots(), m.MeanWaitSlots()*dev.SlotDuration)
+	fmt.Printf("mean backlog  %.3f requests\n", m.MeanBacklog())
+	fmt.Printf("commands      %d issued, %d clamped\n", m.Commands, m.Clamped)
+	for i, s := range m.StateSlots {
+		fmt.Printf("state %-10s %8d slots (%.1f%%)\n", psm.States[i].Name, s, 100*float64(s)/float64(m.Slots))
+	}
+	fmt.Printf("switching     %8d slots (%.1f%%)\n", m.TransitionSlots, 100*float64(m.TransitionSlots)/float64(m.Slots))
+	return nil
+}
+
+func buildWorkload(name string, rate float64) (workload.Arrivals, error) {
+	switch name {
+	case "bernoulli":
+		return workload.NewBernoulli(rate)
+	case "poisson":
+		return workload.NewPoisson(rate)
+	case "onoff":
+		// Bursty with the requested long-run rate: on-phase rate 4x,
+		// silent 3/4 of the time.
+		p := 4 * rate
+		if p > 1 {
+			p = 1
+		}
+		return workload.NewOnOff(p, 200, 600)
+	case "pareto":
+		// Heavy-tailed interarrivals with mean 1/rate slots.
+		alpha := 1.5
+		if rate <= 0 {
+			return nil, fmt.Errorf("pareto workload needs rate > 0")
+		}
+		xm := (alpha - 1) / alpha / rate
+		d, err := dist.NewPareto(xm, alpha)
+		if err != nil {
+			return nil, err
+		}
+		return workload.NewRenewal(d)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func buildPolicy(name string, dev *device.Slotted, qcap int, latW, rate float64, timeout int64, stream *rng.Stream) (slotsim.Policy, error) {
+	switch name {
+	case "q-dpm", "q-dpm-sarsa", "q-dpm-double", "q-dpm-fuzzy", "q-dpm-qos":
+		cfg := core.Config{
+			Device: dev, QueueCap: qcap, LatencyWeight: latW, Stream: stream,
+		}
+		switch name {
+		case "q-dpm-sarsa":
+			cfg.Rule = qlearn.SARSA
+		case "q-dpm-double":
+			cfg.Rule = qlearn.DoubleQ
+		case "q-dpm-fuzzy":
+			cfg.Fuzzy = true
+		case "q-dpm-qos":
+			cfg.QoS = &core.QoSConfig{TargetBacklog: 0.5, Eta: 0.05}
+		}
+		return core.New(cfg)
+	case "optimal":
+		d, err := mdp.BuildDPM(mdp.DPMConfig{
+			Device: dev, ArrivalP: rate, QueueCap: qcap, LatencyWeight: latW,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return policy.NewOptimalFromModel(d)
+	case "adaptive-lp":
+		return stochpm.NewAdaptive(stochpm.AdaptiveConfig{
+			Device: dev, QueueCap: qcap, LatencyWeight: latW,
+			InitialRate: rate, Stream: stream,
+		})
+	case "always-on":
+		return policy.NewAlwaysOn(dev)
+	case "greedy-off":
+		return policy.NewGreedyOff(dev)
+	case "timeout":
+		return policy.NewFixedTimeout(dev, timeout)
+	case "adaptive-timeout":
+		return policy.NewAdaptiveTimeout(dev, timeout, 1, 128)
+	case "predictive":
+		return policy.NewPredictive(dev, 0.5)
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/rng"
+)
+
+func TestBuildWorkloadAllKinds(t *testing.T) {
+	for _, name := range []string{"bernoulli", "poisson", "onoff", "pareto"} {
+		arr, err := buildWorkload(name, 0.2)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		s := rng.New(1)
+		for i := 0; i < 100; i++ {
+			if c := arr.Next(s); c < 0 {
+				t.Errorf("%s emitted negative count", name)
+			}
+		}
+	}
+	if _, err := buildWorkload("nope", 0.2); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := buildWorkload("pareto", 0); err == nil {
+		t.Error("pareto with rate 0 accepted")
+	}
+	// On/off clamps the burst rate at 1.
+	if _, err := buildWorkload("onoff", 0.5); err != nil {
+		t.Errorf("onoff at high rate: %v", err)
+	}
+}
+
+func TestBuildPolicyAllKinds(t *testing.T) {
+	dev, err := device.Synthetic3().Slot(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{
+		"q-dpm", "q-dpm-sarsa", "q-dpm-double", "q-dpm-fuzzy", "q-dpm-qos",
+		"optimal", "adaptive-lp", "always-on", "greedy-off",
+		"timeout", "adaptive-timeout", "predictive",
+	}
+	for _, name := range names {
+		pol, err := buildPolicy(name, dev, 8, 0.3, 0.1, 8, rng.New(1))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if pol.Name() == "" {
+			t.Errorf("%s: empty policy name", name)
+		}
+	}
+	if _, err := buildPolicy("nope", dev, 8, 0.3, 0.1, 8, rng.New(1)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

@@ -1,0 +1,166 @@
+// Command qdpm-trace generates, inspects, and converts request traces in
+// the qdpm trace formats (see internal/trace):
+//
+//	qdpm-trace gen -dist exp -rate 2 -n 100000 -o trace.txt
+//	qdpm-trace gen -dist pareto -rate 0.5 -n 50000 -binary -o trace.bin
+//	qdpm-trace describe trace.txt
+//	qdpm-trace convert trace.txt trace.bin
+//
+// Text traces are one timestamp per line behind a version header; binary
+// traces are magic + count + little-endian float64s.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qdpm-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: qdpm-trace gen|describe|convert ...")
+	}
+	switch args[0] {
+	case "gen":
+		return cmdGen(args[1:])
+	case "describe":
+		return cmdDescribe(args[1:])
+	case "convert":
+		return cmdConvert(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want gen, describe, or convert)", args[0])
+	}
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	distName := fs.String("dist", "exp", "interarrival distribution: exp|pareto|weibull|erlang|hyperexp|uniform")
+	rate := fs.Float64("rate", 1, "mean arrivals per second")
+	n := fs.Int("n", 10000, "number of requests")
+	seed := fs.Uint64("seed", 1, "rng seed")
+	binary := fs.Bool("binary", false, "write the binary format")
+	out := fs.String("o", "-", "output file (- = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rate <= 0 {
+		return fmt.Errorf("rate must be positive")
+	}
+	mean := 1 / *rate
+
+	var d dist.Continuous
+	var err error
+	switch *distName {
+	case "exp":
+		d, err = dist.NewExponential(*rate)
+	case "pareto":
+		alpha := 1.5
+		d, err = dist.NewPareto(mean*(alpha-1)/alpha, alpha)
+	case "weibull":
+		k := 0.7 // heavy-ish tail
+		var w dist.Weibull
+		w, err = dist.NewWeibull(1, k)
+		if err == nil {
+			// Rescale so the mean is `mean`.
+			w.Lambda = mean / w.Mean()
+			d = w
+		}
+	case "erlang":
+		d, err = dist.NewErlang(3, 3/mean)
+	case "hyperexp":
+		d, err = dist.NewHyperExp(0.3, 5/mean, 0.5/mean)
+	case "uniform":
+		d, err = dist.NewUniform(0, 2*mean)
+	default:
+		return fmt.Errorf("unknown distribution %q", *distName)
+	}
+	if err != nil {
+		return err
+	}
+
+	tr, err := trace.Generate(d, *n, rng.New(*seed))
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if *binary {
+		return tr.WriteBinary(w)
+	}
+	return tr.WriteText(w)
+}
+
+func readTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return trace.ReadBinary(f)
+	}
+	return trace.ReadText(f)
+}
+
+func cmdDescribe(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: qdpm-trace describe <file>")
+	}
+	tr, err := readTrace(args[0])
+	if err != nil {
+		return err
+	}
+	st := tr.Summary()
+	fmt.Printf("requests          %d\n", st.Count)
+	fmt.Printf("duration          %.3f s\n", st.Duration)
+	fmt.Printf("mean interarrival %.6f s (rate %.4f/s)\n", st.MeanInterarrival, safeInv(st.MeanInterarrival))
+	fmt.Printf("interarrival CV   %.3f\n", st.CV)
+	fmt.Printf("longest gap       %.3f s\n", st.MaxGap)
+	return nil
+}
+
+func safeInv(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return 1 / x
+}
+
+func cmdConvert(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: qdpm-trace convert <in> <out>")
+	}
+	tr, err := readTrace(args[0])
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(args[1])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(args[1], ".bin") {
+		return tr.WriteBinary(f)
+	}
+	return tr.WriteText(f)
+}

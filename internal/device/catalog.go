@@ -1,0 +1,179 @@
+package device
+
+// Catalog of reference devices. The Q-DPM paper evaluates on synthetic
+// device-agnostic input, so these PSMs exist to ground the examples and the
+// derived tables in realistic cost structures. Power/latency/energy figures
+// are representative of the public DPM literature (Benini et al. 2000;
+// Simunic et al. 2001) rather than any one datasheet:
+//
+//   - HDD: a 2.5" laptop disk (IBM Travelstar class). Spin-up is expensive
+//     (seconds, joules), so wrong shutdown decisions are heavily punished —
+//     the classic DPM stress case.
+//   - WLAN: an 802.11 NIC with a doze mode. Wakeups are cheap and fast, so
+//     policies shut down aggressively.
+//   - SensorRadio: a low-power sensor-node transceiver, the "pervasively
+//     deployed embedded node" the paper motivates; three sleep depths.
+//   - TwoState: the minimal on/off device used in unit tests and in the
+//     Fig. 1 MDP, small enough to solve exactly by hand.
+//   - Synthetic3: the 3-state device used by the Fig. 1 / Fig. 2
+//     experiments: active + idle + sleep with a spin-up penalty chosen so
+//     the optimal policy is nontrivial (neither always-sleep nor never-
+//     sleep) at the studied arrival rates.
+
+// HDD returns a laptop hard-disk PSM.
+// States: active (serving), idle (spinning, not serving), standby (spun
+// down), sleep (fully off). Service time 12 ms per request.
+func HDD() *PSM {
+	p, err := New("hdd",
+		[]PowerState{
+			{Name: "active", Power: 2.1, CanService: true},
+			{Name: "idle", Power: 0.9},
+			{Name: "standby", Power: 0.21},
+			{Name: "sleep", Power: 0.13},
+		},
+		[][]Transition{
+			// from active
+			{{}, {Latency: 0.001, Energy: 0.001}, {Latency: 0.67, Energy: 0.36}, {Latency: 0.8, Energy: 0.4}},
+			// from idle
+			{{Latency: 0.001, Energy: 0.001}, {}, {Latency: 0.67, Energy: 0.36}, {Latency: 0.8, Energy: 0.4}},
+			// from standby
+			{{Latency: 1.6, Energy: 4.39}, {Latency: 1.6, Energy: 4.39}, {}, {Latency: 0.2, Energy: 0.1}},
+			// from sleep
+			{{Latency: 1.9, Energy: 5.0}, {Latency: 1.9, Energy: 5.0}, Forbidden, {}},
+		},
+		0.012,
+	)
+	if err != nil {
+		panic("device: invalid HDD catalog entry: " + err.Error())
+	}
+	return p
+}
+
+// WLAN returns an 802.11 NIC PSM.
+// States: txrx (serving), idle (listening), doze (power-save). Wakeup from
+// doze is ~100 ms. Service time 2 ms per packet burst.
+func WLAN() *PSM {
+	p, err := New("wlan",
+		[]PowerState{
+			{Name: "txrx", Power: 1.6, CanService: true},
+			{Name: "idle", Power: 0.90},
+			{Name: "doze", Power: 0.05},
+		},
+		[][]Transition{
+			{{}, {Latency: 0.001, Energy: 0.001}, {Latency: 0.04, Energy: 0.02}},
+			{{Latency: 0.001, Energy: 0.001}, {}, {Latency: 0.04, Energy: 0.02}},
+			{{Latency: 0.1, Energy: 0.13}, {Latency: 0.1, Energy: 0.13}, {}},
+		},
+		0.002,
+	)
+	if err != nil {
+		panic("device: invalid WLAN catalog entry: " + err.Error())
+	}
+	return p
+}
+
+// SensorRadio returns a sensor-node transceiver PSM with three sleep
+// depths; the deeper the sleep, the longer and costlier the wakeup.
+func SensorRadio() *PSM {
+	p, err := New("sensor-radio",
+		[]PowerState{
+			{Name: "rxtx", Power: 0.024, CanService: true},
+			{Name: "idle", Power: 0.012},
+			{Name: "sleep", Power: 0.0003},
+			{Name: "deepsleep", Power: 0.00002},
+		},
+		[][]Transition{
+			{{}, {Latency: 0.0005, Energy: 0.00001}, {Latency: 0.001, Energy: 0.00003}, {Latency: 0.002, Energy: 0.00005}},
+			{{Latency: 0.0005, Energy: 0.00001}, {}, {Latency: 0.001, Energy: 0.00003}, {Latency: 0.002, Energy: 0.00005}},
+			{{Latency: 0.005, Energy: 0.00018}, {Latency: 0.005, Energy: 0.00018}, {}, {Latency: 0.001, Energy: 0.00002}},
+			{{Latency: 0.025, Energy: 0.0011}, {Latency: 0.025, Energy: 0.0011}, Forbidden, {}},
+		},
+		0.004,
+	)
+	if err != nil {
+		panic("device: invalid SensorRadio catalog entry: " + err.Error())
+	}
+	return p
+}
+
+// TwoState returns the minimal on/off device used in unit tests: on serves
+// and draws 1 W, off draws 0.1 W, each switch takes one slot-scale latency
+// and costs fixed energy.
+func TwoState() *PSM {
+	p, err := New("two-state",
+		[]PowerState{
+			{Name: "on", Power: 1.0, CanService: true},
+			{Name: "off", Power: 0.1},
+		},
+		[][]Transition{
+			{{}, {Latency: 0.5, Energy: 0.3}},
+			{{Latency: 1.0, Energy: 1.2}, {}},
+		},
+		0.5,
+	)
+	if err != nil {
+		panic("device: invalid TwoState catalog entry: " + err.Error())
+	}
+	return p
+}
+
+// Synthetic3 returns the 3-state synthetic device driving the Fig. 1 and
+// Fig. 2 experiments. With slot duration 0.5 s it yields: active 1.0 J/slot
+// (serves 1 req/slot), idle 0.4 J/slot, sleep 0.05 J/slot; sleep->active
+// takes 3 slots and 2.5 J, so sleeping pays off only for idle stretches of
+// roughly 8+ slots — long enough that the optimal policy depends on the
+// arrival rate, which is exactly the regime where learning beats
+// heuristics.
+func Synthetic3() *PSM {
+	p, err := New("synthetic3",
+		[]PowerState{
+			{Name: "active", Power: 2.0, CanService: true},
+			{Name: "idle", Power: 0.8},
+			{Name: "sleep", Power: 0.1},
+		},
+		[][]Transition{
+			{{}, {Latency: 0, Energy: 0}, {Latency: 0.5, Energy: 0.3}},
+			{{Latency: 0, Energy: 0}, {}, {Latency: 0.5, Energy: 0.3}},
+			{{Latency: 1.5, Energy: 2.5}, {Latency: 1.5, Energy: 2.5}, {}},
+		},
+		0.5,
+	)
+	if err != nil {
+		panic("device: invalid Synthetic3 catalog entry: " + err.Error())
+	}
+	return p
+}
+
+// Catalog returns every named reference device.
+func Catalog() map[string]*PSM {
+	return map[string]*PSM{
+		"hdd":          HDD(),
+		"wlan":         WLAN(),
+		"sensor-radio": SensorRadio(),
+		"two-state":    TwoState(),
+		"synthetic3":   Synthetic3(),
+	}
+}
+
+// Lookup returns the named catalog device or an error listing valid names.
+func Lookup(name string) (*PSM, error) {
+	c := Catalog()
+	if p, ok := c[name]; ok {
+		return p, nil
+	}
+	names := make([]string, 0, len(c))
+	for n := range c {
+		names = append(names, n)
+	}
+	return nil, &UnknownDeviceError{Name: name, Known: names}
+}
+
+// UnknownDeviceError reports a Lookup miss.
+type UnknownDeviceError struct {
+	Name  string
+	Known []string
+}
+
+func (e *UnknownDeviceError) Error() string {
+	return "device: unknown device " + e.Name
+}

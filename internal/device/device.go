@@ -1,0 +1,298 @@
+// Package device models power-manageable components as power state
+// machines (PSMs): a set of power states with per-state power draw, and a
+// transition matrix with per-transition latency and energy.
+//
+// Devices are specified in physical units (watts, seconds, joules) and
+// converted with Slotted into the discrete timebase the Q-DPM controller
+// and the DTMDP model share, so the simulator, the analytic optimal policy,
+// and the learned policy all see exactly the same dynamics.
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// StateID indexes a power state within a PSM.
+type StateID int
+
+// PowerState is one operating point of a device.
+type PowerState struct {
+	// Name is a short human-readable label ("active", "sleep", ...).
+	Name string
+	// Power is the state's power draw in watts.
+	Power float64
+	// CanService reports whether the device serves requests in this state.
+	CanService bool
+}
+
+// Transition describes moving between two power states.
+type Transition struct {
+	// Latency is the transition duration in seconds. Zero means
+	// instantaneous. A negative latency marks the transition as forbidden.
+	Latency float64
+	// Energy is the total energy cost of the transition in joules.
+	Energy float64
+}
+
+// Forbidden is a Transition value that marks a disallowed state change.
+var Forbidden = Transition{Latency: -1}
+
+// PSM is a power state machine: the static description of a power-managed
+// device. Build one with New (or take one from the Catalog) so it is
+// validated once, then treat it as immutable.
+type PSM struct {
+	// Name identifies the device in reports.
+	Name string
+	// States lists the power states; index is the StateID.
+	States []PowerState
+	// Trans is the |S|×|S| transition matrix. Trans[i][j] describes
+	// switching from state i to state j. Diagonal entries must be
+	// zero-latency, zero-energy (staying is free).
+	Trans [][]Transition
+	// ServiceTime is the time to serve one request in seconds, in any
+	// state with CanService set.
+	ServiceTime float64
+}
+
+// New validates and returns a PSM.
+func New(name string, states []PowerState, trans [][]Transition, serviceTime float64) (*PSM, error) {
+	p := &PSM{Name: name, States: states, Trans: trans, ServiceTime: serviceTime}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Validate checks structural invariants; New calls it automatically.
+func (p *PSM) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("device: PSM needs a name")
+	}
+	n := len(p.States)
+	if n < 2 {
+		return fmt.Errorf("device %s: needs at least 2 power states, got %d", p.Name, n)
+	}
+	if len(p.Trans) != n {
+		return fmt.Errorf("device %s: transition matrix has %d rows, want %d", p.Name, len(p.Trans), n)
+	}
+	serviceStates := 0
+	for i, st := range p.States {
+		if st.Name == "" {
+			return fmt.Errorf("device %s: state %d has no name", p.Name, i)
+		}
+		if st.Power < 0 || math.IsNaN(st.Power) || math.IsInf(st.Power, 0) {
+			return fmt.Errorf("device %s: state %q power %v invalid", p.Name, st.Name, st.Power)
+		}
+		if st.CanService {
+			serviceStates++
+		}
+		if len(p.Trans[i]) != n {
+			return fmt.Errorf("device %s: transition row %d has %d entries, want %d", p.Name, i, len(p.Trans[i]), n)
+		}
+		for j, tr := range p.Trans[i] {
+			if i == j {
+				if tr.Latency != 0 || tr.Energy != 0 {
+					return fmt.Errorf("device %s: self-transition %q must be free", p.Name, st.Name)
+				}
+				continue
+			}
+			if tr.Latency < 0 {
+				continue // forbidden — fine
+			}
+			if math.IsNaN(tr.Latency) || math.IsInf(tr.Latency, 0) {
+				return fmt.Errorf("device %s: transition %q->%q latency %v invalid", p.Name, st.Name, p.States[j].Name, tr.Latency)
+			}
+			if tr.Energy < 0 || math.IsNaN(tr.Energy) || math.IsInf(tr.Energy, 0) {
+				return fmt.Errorf("device %s: transition %q->%q energy %v invalid", p.Name, st.Name, p.States[j].Name, tr.Energy)
+			}
+		}
+	}
+	if serviceStates == 0 {
+		return fmt.Errorf("device %s: no state can service requests", p.Name)
+	}
+	if !(p.ServiceTime > 0) || math.IsInf(p.ServiceTime, 0) {
+		return fmt.Errorf("device %s: service time %v must be positive and finite", p.Name, p.ServiceTime)
+	}
+	// Every state must be able to reach a service state (otherwise the PM
+	// could strand the device).
+	reach := p.reachability()
+	for i := range p.States {
+		ok := false
+		for j, st := range p.States {
+			if st.CanService && reach[i][j] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("device %s: state %q cannot reach any service state", p.Name, p.States[i].Name)
+		}
+	}
+	return nil
+}
+
+// reachability computes the transitive closure of allowed transitions
+// (including trivial self-reachability).
+func (p *PSM) reachability() [][]bool {
+	n := len(p.States)
+	r := make([][]bool, n)
+	for i := range r {
+		r[i] = make([]bool, n)
+		r[i][i] = true
+		for j := range r[i] {
+			if i != j && p.Trans[i][j].Latency >= 0 {
+				r[i][j] = true
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if r[i][k] && r[k][j] {
+					r[i][j] = true
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Allowed reports whether the PM may command a transition from -> to.
+func (p *PSM) Allowed(from, to StateID) bool {
+	if from == to {
+		return true
+	}
+	return p.Trans[from][to].Latency >= 0
+}
+
+// NumStates returns the number of power states.
+func (p *PSM) NumStates() int { return len(p.States) }
+
+// StateByName returns the StateID of the named state.
+func (p *PSM) StateByName(name string) (StateID, error) {
+	for i, st := range p.States {
+		if st.Name == name {
+			return StateID(i), nil
+		}
+	}
+	return 0, fmt.Errorf("device %s: no state named %q", p.Name, name)
+}
+
+// BreakEven returns the break-even time in seconds for parking in state
+// `to` instead of staying in `from`: the idle duration beyond which the
+// round trip (from->to->from) saves energy. It returns +Inf when `to` does
+// not save power and an error when the round trip is forbidden.
+//
+// T_be = (E_down + E_up + P_to·(L_down+L_up) ... ) — we use the standard
+// definition: the idle time T such that staying (P_from·T) equals
+// transitioning (E_down + E_up + P_to·max(0, T − L_down − L_up)). Solving
+// at equality with the transition time included:
+//
+//	T_be = (E_down + E_up − P_to·(L_down+L_up)) / (P_from − P_to)
+//
+// clamped below by the total transition latency.
+func (p *PSM) BreakEven(from, to StateID) (float64, error) {
+	if !p.Allowed(from, to) || !p.Allowed(to, from) {
+		return 0, fmt.Errorf("device %s: round trip %q<->%q forbidden", p.Name, p.States[from].Name, p.States[to].Name)
+	}
+	pf, pt := p.States[from].Power, p.States[to].Power
+	if pt >= pf {
+		return math.Inf(1), nil
+	}
+	down, up := p.Trans[from][to], p.Trans[to][from]
+	lat := down.Latency + up.Latency
+	tbe := (down.Energy + up.Energy - pt*lat) / (pf - pt)
+	if tbe < lat {
+		tbe = lat
+	}
+	return tbe, nil
+}
+
+// ---------------------------------------------------------------------------
+// Slotted form
+
+// Slotted is a PSM converted to a discrete timebase of SlotDuration
+// seconds: per-slot state energies in joules, integer transition latencies
+// in slots, and an integer per-slot service capacity. This is the form the
+// slotted simulator, the DTMDP builder, and the Q-DPM state encoder share.
+type Slotted struct {
+	// PSM is the physical description this was derived from.
+	PSM *PSM
+	// SlotDuration is the slot length in seconds.
+	SlotDuration float64
+	// StateEnergy[i] is the energy in joules consumed per slot spent in
+	// state i.
+	StateEnergy []float64
+	// TransSlots[i][j] is the transition latency in whole slots
+	// (ceil(latency/slot)), or -1 when forbidden.
+	TransSlots [][]int
+	// TransEnergy[i][j] is the total transition energy in joules.
+	TransEnergy [][]float64
+	// ServePerSlot is the number of requests a servicing state completes
+	// per slot (>= 1).
+	ServePerSlot int
+}
+
+// Slot converts the PSM to a slotted form. slotDuration must be positive;
+// it should be >= ServiceTime so at least one request completes per active
+// slot (the experiments use slotDuration == ServiceTime, giving
+// ServePerSlot == 1, the classic DTMDP setup).
+func (p *PSM) Slot(slotDuration float64) (*Slotted, error) {
+	if !(slotDuration > 0) || math.IsInf(slotDuration, 0) {
+		return nil, fmt.Errorf("device %s: slot duration %v must be positive and finite", p.Name, slotDuration)
+	}
+	serve := int(math.Floor(slotDuration/p.ServiceTime + 1e-9))
+	if serve < 1 {
+		return nil, fmt.Errorf("device %s: slot duration %v shorter than service time %v", p.Name, slotDuration, p.ServiceTime)
+	}
+	n := len(p.States)
+	s := &Slotted{
+		PSM:          p,
+		SlotDuration: slotDuration,
+		StateEnergy:  make([]float64, n),
+		TransSlots:   make([][]int, n),
+		TransEnergy:  make([][]float64, n),
+		ServePerSlot: serve,
+	}
+	for i, st := range p.States {
+		s.StateEnergy[i] = st.Power * slotDuration
+		s.TransSlots[i] = make([]int, n)
+		s.TransEnergy[i] = make([]float64, n)
+		for j, tr := range p.Trans[i] {
+			if i == j {
+				continue
+			}
+			if tr.Latency < 0 {
+				s.TransSlots[i][j] = -1
+				continue
+			}
+			s.TransSlots[i][j] = int(math.Ceil(tr.Latency/slotDuration - 1e-9))
+			s.TransEnergy[i][j] = tr.Energy
+		}
+	}
+	return s, nil
+}
+
+// MaxPowerEnergy returns the per-slot energy of the hungriest state; used
+// to normalize rewards into a bounded range.
+func (s *Slotted) MaxPowerEnergy() float64 {
+	m := 0.0
+	for _, e := range s.StateEnergy {
+		if e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// ServiceStates returns the IDs of states that can serve requests.
+func (s *Slotted) ServiceStates() []StateID {
+	var out []StateID
+	for i, st := range s.PSM.States {
+		if st.CanService {
+			out = append(out, StateID(i))
+		}
+	}
+	return out
+}

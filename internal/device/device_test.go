@@ -1,0 +1,322 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func validStates() []PowerState {
+	return []PowerState{
+		{Name: "on", Power: 1, CanService: true},
+		{Name: "off", Power: 0.1},
+	}
+}
+
+func validTrans() [][]Transition {
+	return [][]Transition{
+		{{}, {Latency: 0.5, Energy: 0.2}},
+		{{Latency: 1, Energy: 1}, {}},
+	}
+}
+
+func TestNewValidPSM(t *testing.T) {
+	p, err := New("test", validStates(), validTrans(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumStates() != 2 {
+		t.Fatalf("NumStates = %d", p.NumStates())
+	}
+}
+
+func TestValidationRejectsBadPSMs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func() (string, []PowerState, [][]Transition, float64)
+	}{
+		{"no name", func() (string, []PowerState, [][]Transition, float64) {
+			return "", validStates(), validTrans(), 0.5
+		}},
+		{"one state", func() (string, []PowerState, [][]Transition, float64) {
+			return "x", validStates()[:1], [][]Transition{{{}}}, 0.5
+		}},
+		{"row count mismatch", func() (string, []PowerState, [][]Transition, float64) {
+			return "x", validStates(), validTrans()[:1], 0.5
+		}},
+		{"row length mismatch", func() (string, []PowerState, [][]Transition, float64) {
+			tr := validTrans()
+			tr[0] = tr[0][:1]
+			return "x", validStates(), tr, 0.5
+		}},
+		{"negative power", func() (string, []PowerState, [][]Transition, float64) {
+			st := validStates()
+			st[0].Power = -1
+			return "x", st, validTrans(), 0.5
+		}},
+		{"NaN power", func() (string, []PowerState, [][]Transition, float64) {
+			st := validStates()
+			st[1].Power = math.NaN()
+			return "x", st, validTrans(), 0.5
+		}},
+		{"unnamed state", func() (string, []PowerState, [][]Transition, float64) {
+			st := validStates()
+			st[1].Name = ""
+			return "x", st, validTrans(), 0.5
+		}},
+		{"no service state", func() (string, []PowerState, [][]Transition, float64) {
+			st := validStates()
+			st[0].CanService = false
+			return "x", st, validTrans(), 0.5
+		}},
+		{"costly self transition", func() (string, []PowerState, [][]Transition, float64) {
+			tr := validTrans()
+			tr[0][0] = Transition{Latency: 1}
+			return "x", validStates(), tr, 0.5
+		}},
+		{"negative transition energy", func() (string, []PowerState, [][]Transition, float64) {
+			tr := validTrans()
+			tr[0][1].Energy = -1
+			return "x", validStates(), tr, 0.5
+		}},
+		{"NaN latency", func() (string, []PowerState, [][]Transition, float64) {
+			tr := validTrans()
+			tr[0][1].Latency = math.NaN()
+			return "x", validStates(), tr, 0.5
+		}},
+		{"zero service time", func() (string, []PowerState, [][]Transition, float64) {
+			return "x", validStates(), validTrans(), 0
+		}},
+		{"stranded state", func() (string, []PowerState, [][]Transition, float64) {
+			// off cannot get back to on
+			tr := validTrans()
+			tr[1][0] = Forbidden
+			return "x", validStates(), tr, 0.5
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.mutate()); err == nil {
+				t.Errorf("New accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestAllowed(t *testing.T) {
+	tr := validTrans()
+	tr[0][1] = Forbidden
+	// Keep the PSM valid by adding a third state routing on->mid->off.
+	states := []PowerState{
+		{Name: "on", Power: 1, CanService: true},
+		{Name: "mid", Power: 0.5},
+		{Name: "off", Power: 0.1},
+	}
+	full := [][]Transition{
+		{{}, {Latency: 0.1, Energy: 0.1}, Forbidden},
+		{{Latency: 0.1, Energy: 0.1}, {}, {Latency: 0.1, Energy: 0.1}},
+		{{Latency: 1, Energy: 1}, Forbidden, {}},
+	}
+	p, err := New("route", states, full, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Allowed(0, 2) {
+		t.Error("on->off should be forbidden")
+	}
+	if !p.Allowed(0, 1) || !p.Allowed(1, 2) || !p.Allowed(2, 0) {
+		t.Error("allowed transitions misreported")
+	}
+	if !p.Allowed(1, 1) {
+		t.Error("self transition must always be allowed")
+	}
+}
+
+func TestStateByName(t *testing.T) {
+	p := TwoState()
+	id, err := p.StateByName("off")
+	if err != nil || id != 1 {
+		t.Fatalf("StateByName(off) = %d, %v", id, err)
+	}
+	if _, err := p.StateByName("nope"); err == nil {
+		t.Fatal("StateByName accepted unknown state")
+	}
+}
+
+func TestBreakEven(t *testing.T) {
+	p := TwoState()
+	tbe, err := p.BreakEven(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E_down+E_up = 1.5 J, P_on=1, P_off=0.1, lat=1.5s:
+	// tbe = (1.5 - 0.1*1.5)/(0.9) = 1.5.
+	if math.Abs(tbe-1.5) > 1e-9 {
+		t.Errorf("break-even = %v, want 1.5", tbe)
+	}
+}
+
+func TestBreakEvenInfiniteWhenNoSavings(t *testing.T) {
+	p := TwoState()
+	tbe, err := p.BreakEven(1, 0) // parking in a hungrier state never pays
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(tbe, 1) {
+		t.Errorf("break-even into hungrier state = %v, want +Inf", tbe)
+	}
+}
+
+func TestBreakEvenClampedToLatency(t *testing.T) {
+	// Free transitions: break-even is the latency itself (here 0).
+	states := []PowerState{
+		{Name: "on", Power: 1, CanService: true},
+		{Name: "off", Power: 0.1},
+	}
+	trans := [][]Transition{
+		{{}, {Latency: 0, Energy: 0}},
+		{{Latency: 0, Energy: 0}, {}},
+	}
+	p, err := New("free", states, trans, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbe, err := p.BreakEven(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbe != 0 {
+		t.Errorf("break-even = %v, want 0", tbe)
+	}
+}
+
+func TestCatalogAllValid(t *testing.T) {
+	for name, p := range Catalog() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("catalog device %s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestCatalogDevicesHaveMonotonePowerOrdering(t *testing.T) {
+	// Catalog convention: states are listed from hungriest to thriftiest.
+	for name, p := range Catalog() {
+		for i := 1; i < len(p.States); i++ {
+			if p.States[i].Power > p.States[i-1].Power {
+				t.Errorf("%s: state %q power %v exceeds previous state", name, p.States[i].Name, p.States[i].Power)
+			}
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("hdd"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Lookup("toaster")
+	if err == nil {
+		t.Fatal("Lookup accepted unknown device")
+	}
+	if _, ok := err.(*UnknownDeviceError); !ok {
+		t.Fatalf("error type %T, want *UnknownDeviceError", err)
+	}
+}
+
+func TestSlotConversion(t *testing.T) {
+	p := Synthetic3()
+	s, err := p.Slot(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ServePerSlot != 1 {
+		t.Fatalf("ServePerSlot = %d, want 1", s.ServePerSlot)
+	}
+	// active 2.0 W * 0.5 s = 1.0 J/slot
+	if math.Abs(s.StateEnergy[0]-1.0) > 1e-12 {
+		t.Errorf("active energy/slot = %v, want 1.0", s.StateEnergy[0])
+	}
+	if math.Abs(s.StateEnergy[2]-0.05) > 1e-12 {
+		t.Errorf("sleep energy/slot = %v, want 0.05", s.StateEnergy[2])
+	}
+	// sleep->active: 1.5 s latency at 0.5 s slots = 3 slots.
+	if s.TransSlots[2][0] != 3 {
+		t.Errorf("sleep->active latency = %d slots, want 3", s.TransSlots[2][0])
+	}
+	if s.TransEnergy[2][0] != 2.5 {
+		t.Errorf("sleep->active energy = %v, want 2.5", s.TransEnergy[2][0])
+	}
+	// active->idle is instantaneous.
+	if s.TransSlots[0][1] != 0 {
+		t.Errorf("active->idle latency = %d slots, want 0", s.TransSlots[0][1])
+	}
+}
+
+func TestSlotForbiddenPreserved(t *testing.T) {
+	p := HDD()
+	s, err := p.Slot(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sleep, _ := p.StateByName("sleep")
+	standby, _ := p.StateByName("standby")
+	if s.TransSlots[sleep][standby] != -1 {
+		t.Error("forbidden transition not preserved in slotted form")
+	}
+}
+
+func TestSlotRejectsBadDuration(t *testing.T) {
+	p := TwoState() // service time 0.5
+	if _, err := p.Slot(0); err == nil {
+		t.Error("Slot(0) accepted")
+	}
+	if _, err := p.Slot(0.1); err == nil {
+		t.Error("slot shorter than service time accepted")
+	}
+	if _, err := p.Slot(math.Inf(1)); err == nil {
+		t.Error("Slot(+Inf) accepted")
+	}
+}
+
+func TestSlotExactMultipleLatency(t *testing.T) {
+	// 1.0 s latency at 0.5 s slots must be exactly 2 slots, not 3
+	// (guards against ceil(x+eps) off-by-one).
+	p := TwoState()
+	s, err := p.Slot(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TransSlots[1][0] != 2 {
+		t.Errorf("off->on latency = %d slots, want 2", s.TransSlots[1][0])
+	}
+	if s.TransSlots[0][1] != 1 {
+		t.Errorf("on->off latency = %d slots, want 1", s.TransSlots[0][1])
+	}
+}
+
+func TestMaxPowerEnergyAndServiceStates(t *testing.T) {
+	s, err := Synthetic3().Slot(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := s.MaxPowerEnergy(); math.Abs(m-1.0) > 1e-12 {
+		t.Errorf("MaxPowerEnergy = %v, want 1.0", m)
+	}
+	ss := s.ServiceStates()
+	if len(ss) != 1 || ss[0] != 0 {
+		t.Errorf("ServiceStates = %v, want [0]", ss)
+	}
+}
+
+func TestHDDBreakEvenIsLong(t *testing.T) {
+	// Sanity: spinning a disk down must only pay off for multi-second
+	// idles — the classic DPM difficulty.
+	p := HDD()
+	idle, _ := p.StateByName("idle")
+	standby, _ := p.StateByName("standby")
+	tbe, err := p.BreakEven(idle, standby)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbe < 2 || tbe > 60 {
+		t.Errorf("HDD idle->standby break-even %v s outside plausible [2,60]", tbe)
+	}
+}

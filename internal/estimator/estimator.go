@@ -1,0 +1,216 @@
+// Package estimator implements the online parameter-estimation and change-
+// detection machinery that model-based adaptive DPM needs and Q-DPM
+// dispenses with: sliding-window and exponentially-weighted rate
+// estimators for the arrival process, and CUSUM / Page–Hinkley detectors
+// for the "mode-switch controller" that decides when the model has drifted
+// enough to warrant re-running policy optimization.
+//
+// The paper's core claim is that this whole pipeline costs time and delays
+// adaptation; this package exists so the claim can be measured (Fig. 2 and
+// Table R1) rather than asserted.
+package estimator
+
+import (
+	"fmt"
+	"math"
+)
+
+// WindowRate estimates a Bernoulli per-slot arrival probability from the
+// last W slots (sliding-window maximum likelihood: arrivals/W).
+type WindowRate struct {
+	buf  []uint8
+	head int
+	n    int
+	sum  int
+}
+
+// NewWindowRate returns an estimator over a window of w slots.
+func NewWindowRate(w int) (*WindowRate, error) {
+	if w <= 0 {
+		return nil, fmt.Errorf("estimator: window %d must be positive", w)
+	}
+	return &WindowRate{buf: make([]uint8, w)}, nil
+}
+
+// Add records one slot's arrival indicator (count clamped to {0,1}).
+func (e *WindowRate) Add(arrivals int) {
+	v := uint8(0)
+	if arrivals > 0 {
+		v = 1
+	}
+	if e.n == len(e.buf) {
+		e.sum -= int(e.buf[e.head])
+	} else {
+		e.n++
+	}
+	e.buf[e.head] = v
+	e.sum += int(v)
+	e.head = (e.head + 1) % len(e.buf)
+}
+
+// Rate returns the MLE of the per-slot arrival probability (0 before any
+// observation).
+func (e *WindowRate) Rate() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	return float64(e.sum) / float64(e.n)
+}
+
+// Full reports whether the window has filled once.
+func (e *WindowRate) Full() bool { return e.n == len(e.buf) }
+
+// N returns the number of retained observations.
+func (e *WindowRate) N() int { return e.n }
+
+// ---------------------------------------------------------------------------
+
+// EWMARate is an exponentially weighted rate estimator; cheaper than a
+// window but with a bias/variance trade-off set by alpha.
+type EWMARate struct {
+	alpha float64
+	rate  float64
+	init  bool
+}
+
+// NewEWMARate validates alpha ∈ (0,1].
+func NewEWMARate(alpha float64) (*EWMARate, error) {
+	if !(alpha > 0) || alpha > 1 {
+		return nil, fmt.Errorf("estimator: EWMA alpha %v out of (0,1]", alpha)
+	}
+	return &EWMARate{alpha: alpha}, nil
+}
+
+// Add records one slot's arrival indicator.
+func (e *EWMARate) Add(arrivals int) {
+	v := 0.0
+	if arrivals > 0 {
+		v = 1
+	}
+	if !e.init {
+		e.rate, e.init = v, true
+		return
+	}
+	e.rate = e.alpha*v + (1-e.alpha)*e.rate
+}
+
+// Rate returns the current estimate.
+func (e *EWMARate) Rate() float64 { return e.rate }
+
+// ---------------------------------------------------------------------------
+
+// CUSUM is a two-sided cumulative-sum change detector on a Bernoulli
+// stream. It tracks deviations of the observed indicator from a reference
+// rate; when either one-sided statistic exceeds the threshold h, a change
+// is declared.
+type CUSUM struct {
+	ref    float64 // reference rate the statistics are centred on
+	k      float64 // slack per observation
+	h      float64 // decision threshold
+	gPos   float64
+	gNeg   float64
+	alarms int64
+}
+
+// NewCUSUM returns a detector centred on rate ref with slack k and
+// threshold h. Typical values: k = half the smallest shift worth
+// detecting, h = 4..8 for Bernoulli streams.
+func NewCUSUM(ref, k, h float64) (*CUSUM, error) {
+	if ref < 0 || ref > 1 || math.IsNaN(ref) {
+		return nil, fmt.Errorf("estimator: CUSUM reference %v out of [0,1]", ref)
+	}
+	if !(k >= 0) {
+		return nil, fmt.Errorf("estimator: CUSUM slack %v must be >= 0", k)
+	}
+	if !(h > 0) {
+		return nil, fmt.Errorf("estimator: CUSUM threshold %v must be positive", h)
+	}
+	return &CUSUM{ref: ref, k: k, h: h}, nil
+}
+
+// Reset re-centres the detector on a new reference rate.
+func (c *CUSUM) Reset(ref float64) {
+	c.ref = ref
+	c.gPos, c.gNeg = 0, 0
+}
+
+// Add consumes one arrival indicator and reports whether a change fired
+// this slot. After an alarm the statistics reset automatically.
+func (c *CUSUM) Add(arrivals int) bool {
+	v := 0.0
+	if arrivals > 0 {
+		v = 1
+	}
+	d := v - c.ref
+	c.gPos = math.Max(0, c.gPos+d-c.k)
+	c.gNeg = math.Max(0, c.gNeg-d-c.k)
+	if c.gPos > c.h || c.gNeg > c.h {
+		c.gPos, c.gNeg = 0, 0
+		c.alarms++
+		return true
+	}
+	return false
+}
+
+// Alarms returns the number of changes declared so far.
+func (c *CUSUM) Alarms() int64 { return c.alarms }
+
+// ---------------------------------------------------------------------------
+
+// PageHinkley is the Page–Hinkley test for mean shift in a bounded stream:
+// it accumulates deviations from the running mean and alarms when the
+// accumulated drift leaves its running extremum by more than lambda.
+type PageHinkley struct {
+	delta  float64 // tolerated drift per step
+	lambda float64 // alarm threshold
+	n      int64
+	mean   float64
+	mPos   float64 // cumulative positive statistic
+	mPosMn float64
+	mNeg   float64
+	mNegMx float64
+	alarms int64
+}
+
+// NewPageHinkley returns a detector with drift tolerance delta and
+// threshold lambda.
+func NewPageHinkley(delta, lambda float64) (*PageHinkley, error) {
+	if !(delta >= 0) {
+		return nil, fmt.Errorf("estimator: Page-Hinkley delta %v must be >= 0", delta)
+	}
+	if !(lambda > 0) {
+		return nil, fmt.Errorf("estimator: Page-Hinkley lambda %v must be positive", lambda)
+	}
+	return &PageHinkley{delta: delta, lambda: lambda}, nil
+}
+
+// Add consumes one observation and reports whether a change fired. After
+// an alarm the statistics reset.
+func (p *PageHinkley) Add(x float64) bool {
+	p.n++
+	p.mean += (x - p.mean) / float64(p.n)
+	p.mPos += x - p.mean - p.delta
+	if p.mPos < p.mPosMn {
+		p.mPosMn = p.mPos
+	}
+	p.mNeg += x - p.mean + p.delta
+	if p.mNeg > p.mNegMx {
+		p.mNegMx = p.mNeg
+	}
+	if p.mPos-p.mPosMn > p.lambda || p.mNegMx-p.mNeg > p.lambda {
+		p.reset()
+		p.alarms++
+		return true
+	}
+	return false
+}
+
+func (p *PageHinkley) reset() {
+	p.n = 0
+	p.mean = 0
+	p.mPos, p.mPosMn = 0, 0
+	p.mNeg, p.mNegMx = 0, 0
+}
+
+// Alarms returns the number of changes declared so far.
+func (p *PageHinkley) Alarms() int64 { return p.alarms }

@@ -1,0 +1,268 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestWindowRateMLE(t *testing.T) {
+	e, err := NewWindowRate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Rate() != 0 {
+		t.Error("fresh estimator rate != 0")
+	}
+	for _, a := range []int{1, 0, 1, 1} {
+		e.Add(a)
+	}
+	if !e.Full() {
+		t.Error("window should be full")
+	}
+	if e.Rate() != 0.75 {
+		t.Errorf("rate %v, want 0.75", e.Rate())
+	}
+	// Slide: evict the first 1, add 0 -> 2/4.
+	e.Add(0)
+	if e.Rate() != 0.5 {
+		t.Errorf("rate after slide %v, want 0.5", e.Rate())
+	}
+}
+
+func TestWindowRateClampsCounts(t *testing.T) {
+	e, _ := NewWindowRate(2)
+	e.Add(5) // multi-arrival slot counts as 1
+	e.Add(0)
+	if e.Rate() != 0.5 {
+		t.Errorf("rate %v, want 0.5", e.Rate())
+	}
+}
+
+func TestWindowRateValidation(t *testing.T) {
+	if _, err := NewWindowRate(0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestWindowRateConvergence(t *testing.T) {
+	e, _ := NewWindowRate(2000)
+	s := rng.New(1)
+	for i := 0; i < 10000; i++ {
+		a := 0
+		if s.Bool(0.3) {
+			a = 1
+		}
+		e.Add(a)
+	}
+	if math.Abs(e.Rate()-0.3) > 0.04 {
+		t.Errorf("window rate %v, want ~0.3", e.Rate())
+	}
+}
+
+func TestEWMARate(t *testing.T) {
+	e, err := NewEWMARate(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Add(1)
+	if e.Rate() != 1 {
+		t.Errorf("first rate %v, want 1", e.Rate())
+	}
+	e.Add(0)
+	if e.Rate() != 0.5 {
+		t.Errorf("rate %v, want 0.5", e.Rate())
+	}
+}
+
+func TestEWMARateValidation(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		if _, err := NewEWMARate(a); err == nil {
+			t.Errorf("alpha %v accepted", a)
+		}
+	}
+}
+
+func TestEWMATracksShift(t *testing.T) {
+	e, _ := NewEWMARate(0.05)
+	s := rng.New(2)
+	for i := 0; i < 2000; i++ {
+		a := 0
+		if s.Bool(0.1) {
+			a = 1
+		}
+		e.Add(a)
+	}
+	low := e.Rate()
+	for i := 0; i < 2000; i++ {
+		a := 0
+		if s.Bool(0.8) {
+			a = 1
+		}
+		e.Add(a)
+	}
+	high := e.Rate()
+	if math.Abs(low-0.1) > 0.1 || math.Abs(high-0.8) > 0.1 {
+		t.Errorf("EWMA did not track shift: low %v high %v", low, high)
+	}
+}
+
+func TestCUSUMDetectsUpShift(t *testing.T) {
+	c, err := NewCUSUM(0.1, 0.05, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(3)
+	// In-control stretch: no alarm expected (probabilistically).
+	for i := 0; i < 2000; i++ {
+		a := 0
+		if s.Bool(0.1) {
+			a = 1
+		}
+		c.Add(a)
+	}
+	preAlarms := c.Alarms()
+	// Shift to 0.6: must alarm quickly.
+	fired := -1
+	for i := 0; i < 500; i++ {
+		a := 0
+		if s.Bool(0.6) {
+			a = 1
+		}
+		if c.Add(a) {
+			fired = i
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("CUSUM never fired on a 0.1->0.6 shift")
+	}
+	if fired > 100 {
+		t.Errorf("CUSUM detection delay %d slots, want <= 100", fired)
+	}
+	if preAlarms > 2 {
+		t.Errorf("CUSUM false-alarmed %d times in control", preAlarms)
+	}
+}
+
+func TestCUSUMDetectsDownShift(t *testing.T) {
+	c, _ := NewCUSUM(0.7, 0.05, 4)
+	s := rng.New(4)
+	for i := 0; i < 1000; i++ {
+		a := 0
+		if s.Bool(0.7) {
+			a = 1
+		}
+		c.Add(a)
+	}
+	fired := -1
+	for i := 0; i < 500; i++ {
+		if c.Add(0) { // rate collapses to 0
+			fired = i
+			break
+		}
+	}
+	if fired < 0 || fired > 30 {
+		t.Errorf("CUSUM down-shift detection delay %d, want fast", fired)
+	}
+}
+
+func TestCUSUMResetRecentres(t *testing.T) {
+	c, _ := NewCUSUM(0.1, 0.05, 4)
+	s := rng.New(5)
+	// Shift and let it fire.
+	for i := 0; i < 1000; i++ {
+		a := 0
+		if s.Bool(0.9) {
+			a = 1
+		}
+		c.Add(a)
+	}
+	c.Reset(0.9)
+	// Now 0.9 is in control: no further alarms for a while.
+	alarms := c.Alarms()
+	for i := 0; i < 1000; i++ {
+		a := 0
+		if s.Bool(0.9) {
+			a = 1
+		}
+		c.Add(a)
+	}
+	if c.Alarms() > alarms+1 {
+		t.Errorf("CUSUM false-alarmed %d times after re-centring", c.Alarms()-alarms)
+	}
+}
+
+func TestCUSUMValidation(t *testing.T) {
+	if _, err := NewCUSUM(-0.1, 0.05, 4); err == nil {
+		t.Error("bad reference accepted")
+	}
+	if _, err := NewCUSUM(0.5, -1, 4); err == nil {
+		t.Error("negative slack accepted")
+	}
+	if _, err := NewCUSUM(0.5, 0.05, 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}
+
+func TestPageHinkleyDetectsShift(t *testing.T) {
+	// Bernoulli indicators are high-variance (per-step std ~0.4), so the
+	// drift tolerance must eat the noise: delta = 0.1, lambda = 15.
+	p, err := NewPageHinkley(0.1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(6)
+	for i := 0; i < 3000; i++ {
+		v := 0.0
+		if s.Bool(0.2) {
+			v = 1
+		}
+		p.Add(v)
+	}
+	inControl := p.Alarms()
+	fired := -1
+	for i := 0; i < 1000; i++ {
+		v := 0.0
+		if s.Bool(0.9) {
+			v = 1
+		}
+		if p.Add(v) {
+			fired = i
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("Page-Hinkley never fired on a 0.2->0.9 shift")
+	}
+	if fired > 200 {
+		t.Errorf("Page-Hinkley delay %d, want <= 200", fired)
+	}
+	if inControl > 3 {
+		t.Errorf("Page-Hinkley false alarms in control: %d", inControl)
+	}
+}
+
+func TestPageHinkleyValidation(t *testing.T) {
+	if _, err := NewPageHinkley(-1, 5); err == nil {
+		t.Error("negative delta accepted")
+	}
+	if _, err := NewPageHinkley(0.01, 0); err == nil {
+		t.Error("zero lambda accepted")
+	}
+}
+
+func BenchmarkWindowRateAdd(b *testing.B) {
+	e, _ := NewWindowRate(1000)
+	for i := 0; i < b.N; i++ {
+		e.Add(i & 1)
+	}
+}
+
+func BenchmarkCUSUMAdd(b *testing.B) {
+	c, _ := NewCUSUM(0.3, 0.05, 6)
+	for i := 0; i < b.N; i++ {
+		c.Add(i & 1)
+	}
+}

@@ -1,0 +1,180 @@
+// Package eventq implements a discrete-event simulation kernel: a binary-
+// heap future event list with stable FIFO tie-breaking, a simulation clock,
+// and event cancellation.
+//
+// The slotted Q-DPM experiments use a fixed timebase, but trace generation
+// and the continuous-time validation example need true event-driven
+// simulation (request arrivals at real-valued times, device wakeup
+// completions, timeout expiries). This kernel provides that substrate.
+package eventq
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Handler is the callback invoked when an event fires. The kernel passes
+// the firing time so handlers need not consult the clock.
+type Handler func(now float64)
+
+// Event is a scheduled occurrence. Obtain events from Kernel.Schedule;
+// the zero value is meaningless.
+type Event struct {
+	time     float64
+	seq      uint64 // FIFO tie-breaker for equal times
+	index    int    // heap index, -1 when not queued
+	fn       Handler
+	canceled bool
+}
+
+// Time returns the scheduled firing time.
+func (e *Event) Time() float64 { return e.time }
+
+// Pending reports whether the event is still queued and not canceled.
+func (e *Event) Pending() bool { return e.index >= 0 && !e.canceled }
+
+// eventHeap orders by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation executive. It is not safe for
+// concurrent use; simulations that need parallelism run one Kernel per
+// goroutine with split rng streams.
+type Kernel struct {
+	now     float64
+	heap    eventHeap
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// New returns a kernel with the clock at 0.
+func New() *Kernel { return &Kernel{} }
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Fired returns the number of events executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending returns the number of queued (non-canceled) events.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, e := range k.heap {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule queues fn to run at time t. Scheduling in the past (t < Now) is
+// an error; scheduling exactly at Now is allowed and runs after currently
+// queued events at Now (FIFO).
+func (k *Kernel) Schedule(t float64, fn Handler) (*Event, error) {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("eventq: schedule time %v is not finite", t)
+	}
+	if t < k.now {
+		return nil, fmt.Errorf("eventq: schedule time %v precedes current time %v", t, k.now)
+	}
+	if fn == nil {
+		return nil, errors.New("eventq: nil handler")
+	}
+	e := &Event{time: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.heap, e)
+	return e, nil
+}
+
+// After queues fn to run delay time units from now; delay must be >= 0.
+func (k *Kernel) After(delay float64, fn Handler) (*Event, error) {
+	if delay < 0 || math.IsNaN(delay) {
+		return nil, fmt.Errorf("eventq: negative delay %v", delay)
+	}
+	return k.Schedule(k.now+delay, fn)
+}
+
+// Cancel removes a pending event. Canceling an already-fired or already-
+// canceled event is a harmless no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	// Lazy deletion: leave it in the heap; Step skips canceled events.
+}
+
+// Stop makes Run return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step fires the earliest pending event. It returns false when the queue is
+// empty.
+func (k *Kernel) Step() bool {
+	for k.heap.Len() > 0 {
+		e := heap.Pop(&k.heap).(*Event)
+		if e.canceled {
+			continue
+		}
+		k.now = e.time
+		k.fired++
+		e.fn(k.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty, Stop is called, or the
+// clock would exceed horizon (events after the horizon remain queued; the
+// clock is advanced to exactly horizon).
+func (k *Kernel) Run(horizon float64) error {
+	if horizon < k.now {
+		return fmt.Errorf("eventq: horizon %v precedes current time %v", horizon, k.now)
+	}
+	k.stopped = false
+	for !k.stopped {
+		// Peek at the earliest non-canceled event.
+		for k.heap.Len() > 0 && k.heap[0].canceled {
+			heap.Pop(&k.heap)
+		}
+		if k.heap.Len() == 0 {
+			break
+		}
+		if k.heap[0].time > horizon {
+			break
+		}
+		k.Step()
+	}
+	if k.now < horizon {
+		k.now = horizon
+	}
+	return nil
+}

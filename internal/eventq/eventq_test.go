@@ -1,0 +1,240 @@
+package eventq
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestFiresInTimeOrder(t *testing.T) {
+	k := New()
+	var got []float64
+	times := []float64{5, 1, 3, 2, 4}
+	for _, tt := range times {
+		if _, err := k.Schedule(tt, func(now float64) { got = append(got, now) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	k := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(1.0, func(float64) { order = append(order, i) })
+	}
+	k.Run(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleInPastRejected(t *testing.T) {
+	k := New()
+	k.Schedule(5, func(float64) {})
+	k.Run(10)
+	if _, err := k.Schedule(3, func(float64) {}); err == nil {
+		t.Fatal("scheduling in the past accepted")
+	}
+}
+
+func TestScheduleRejectsBadInput(t *testing.T) {
+	k := New()
+	if _, err := k.Schedule(math.NaN(), func(float64) {}); err == nil {
+		t.Error("NaN time accepted")
+	}
+	if _, err := k.Schedule(math.Inf(1), func(float64) {}); err == nil {
+		t.Error("Inf time accepted")
+	}
+	if _, err := k.Schedule(1, nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+	if _, err := k.After(-1, func(float64) {}); err == nil {
+		t.Error("negative delay accepted")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := New()
+	fired := false
+	e, _ := k.Schedule(1, func(float64) { fired = true })
+	if !e.Pending() {
+		t.Fatal("scheduled event not pending")
+	}
+	k.Cancel(e)
+	if e.Pending() {
+		t.Fatal("canceled event still pending")
+	}
+	k.Run(5)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	k.Cancel(e) // double-cancel is a no-op
+	k.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	k := New()
+	var got []int
+	var events []*Event
+	for i := 0; i < 5; i++ {
+		i := i
+		e, _ := k.Schedule(float64(i), func(float64) { got = append(got, i) })
+		events = append(events, e)
+	}
+	k.Cancel(events[2])
+	k.Run(10)
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHorizonStopsExecution(t *testing.T) {
+	k := New()
+	fired := 0
+	k.Schedule(1, func(float64) { fired++ })
+	k.Schedule(9, func(float64) { fired++ })
+	if err := k.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d events before horizon 5, want 1", fired)
+	}
+	if k.Now() != 5 {
+		t.Fatalf("clock at %v, want 5", k.Now())
+	}
+	// The remaining event still fires on a later Run.
+	k.Run(10)
+	if fired != 2 {
+		t.Fatalf("fired %d after extended horizon, want 2", fired)
+	}
+}
+
+func TestRunRejectsPastHorizon(t *testing.T) {
+	k := New()
+	k.Schedule(5, func(float64) {})
+	k.Run(6)
+	if err := k.Run(2); err == nil {
+		t.Fatal("Run with past horizon accepted")
+	}
+}
+
+func TestStopInsideHandler(t *testing.T) {
+	k := New()
+	fired := 0
+	k.Schedule(1, func(float64) { fired++; k.Stop() })
+	k.Schedule(2, func(float64) { fired++ })
+	k.Run(10)
+	if fired != 1 {
+		t.Fatalf("Stop did not halt execution, fired %d", fired)
+	}
+}
+
+func TestHandlerCanScheduleMore(t *testing.T) {
+	k := New()
+	count := 0
+	var tick Handler
+	tick = func(now float64) {
+		count++
+		if count < 10 {
+			k.After(1, tick)
+		}
+	}
+	k.After(1, tick)
+	k.Run(100)
+	if count != 10 {
+		t.Fatalf("recurrent event fired %d times, want 10", count)
+	}
+	if k.Now() != 100 {
+		t.Fatalf("clock %v, want 100", k.Now())
+	}
+}
+
+func TestScheduleAtNowRunsAfterCurrentQueue(t *testing.T) {
+	k := New()
+	var order []string
+	k.Schedule(1, func(now float64) {
+		order = append(order, "a")
+		k.Schedule(now, func(float64) { order = append(order, "c") })
+	})
+	k.Schedule(1, func(float64) { order = append(order, "b") })
+	k.Run(2)
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order %v, want [a b c]", order)
+	}
+}
+
+func TestFiredAndPendingCounters(t *testing.T) {
+	k := New()
+	e1, _ := k.Schedule(1, func(float64) {})
+	k.Schedule(2, func(float64) {})
+	k.Schedule(3, func(float64) {})
+	k.Cancel(e1)
+	if p := k.Pending(); p != 2 {
+		t.Fatalf("Pending = %d, want 2", p)
+	}
+	k.Run(10)
+	if k.Fired() != 2 {
+		t.Fatalf("Fired = %d, want 2", k.Fired())
+	}
+	if p := k.Pending(); p != 0 {
+		t.Fatalf("Pending after run = %d, want 0", p)
+	}
+}
+
+// Property: for any batch of random schedule times, events fire in
+// nondecreasing time order and the clock never moves backward.
+func TestPropertyOrderInvariant(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		s := rng.New(seed)
+		k := New()
+		last := -1.0
+		ok := true
+		for i := 0; i < n; i++ {
+			k.Schedule(s.Float64()*100, func(now float64) {
+				if now < last {
+					ok = false
+				}
+				last = now
+			})
+		}
+		if err := k.Run(101); err != nil {
+			return false
+		}
+		return ok && k.Fired() == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	k := New()
+	s := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		k.Schedule(k.Now()+s.Float64(), func(float64) {})
+		k.Step()
+	}
+}

@@ -1,0 +1,211 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Figure is renderable figure data: named series over a shared x axis,
+// optional vertical markers (switch points) and horizontal references
+// (optimal gain).
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*stats.Series
+	// VLines marks x positions (Fig. 2 switching points).
+	VLines []float64
+	// HLines maps a label to a y reference (Fig. 1 optimal line).
+	HLines map[string]float64
+	// Note carries provenance (parameters, seeds).
+	Note string
+}
+
+// Fig1Config parameterizes the convergence experiment.
+type Fig1Config struct {
+	// ArrivalP is the stationary per-slot arrival probability.
+	ArrivalP float64
+	// Slots is the run length.
+	Slots int64
+	// Window and Stride control the series sampling.
+	Window, Stride int
+	// Seeds to average over.
+	Seeds []uint64
+}
+
+// DefaultFig1 returns the canonical Fig. 1 parameters.
+func DefaultFig1() Fig1Config {
+	return Fig1Config{
+		ArrivalP: 0.1,
+		Slots:    200000,
+		Window:   5000,
+		Stride:   2000,
+		Seeds:    []uint64{101, 102, 103, 104},
+	}
+}
+
+// Fig1 reproduces "Convergence on Optimal Policy": windowed average cost
+// of Q-DPM against the analytically optimal policy (and a timeout and
+// greedy baseline) under stationary input. The Q-DPM curve must approach
+// the optimal horizontal line.
+func Fig1(cfg Fig1Config) (*Figure, error) {
+	dev, err := CanonDevice()
+	if err != nil {
+		return nil, err
+	}
+	sc := Scenario{
+		Name:          "fig1",
+		Device:        dev,
+		QueueCap:      CanonQueueCap,
+		LatencyWeight: CanonLatencyWeight,
+		Slots:         cfg.Slots,
+		Workload: func() workload.Arrivals {
+			b, err := workload.NewBernoulli(cfg.ArrivalP)
+			if err != nil {
+				panic(err)
+			}
+			return b
+		},
+	}
+
+	optFactory, gain, err := OptimalFactory(dev, cfg.ArrivalP)
+	if err != nil {
+		return nil, err
+	}
+
+	fig := &Figure{
+		Title:  "Fig. 1 — Convergence on Optimal Policy",
+		XLabel: "slot",
+		YLabel: "windowed avg cost (J/slot)",
+		HLines: map[string]float64{"optimal gain": gain},
+		Note: fmt.Sprintf("Bernoulli λ=%g/slot, synthetic3 device, %d slots, window %d, %d seeds",
+			cfg.ArrivalP, cfg.Slots, cfg.Window, len(cfg.Seeds)),
+	}
+
+	for _, pf := range []PolicyFactory{
+		QDPMFactory(dev),
+		optFactory,
+		TimeoutFactory(dev, 20),
+		GreedyOffFactory(dev),
+	} {
+		var reps []*stats.Series
+		for _, seed := range cfg.Seeds {
+			s, err := WindowedCostSeries(sc, pf, seed, cfg.Window, cfg.Stride)
+			if err != nil {
+				return nil, err
+			}
+			reps = append(reps, s)
+		}
+		mean, err := MeanSeries(pf.Name, reps)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, mean)
+	}
+	return fig, nil
+}
+
+// Fig2Config parameterizes the rapid-response experiment.
+type Fig2Config struct {
+	// Rates and SegmentSlots define the piecewise-stationary schedule.
+	Rates        []float64
+	SegmentSlots int64
+	// Window and Stride control the series sampling.
+	Window, Stride int
+	// Seeds to average over.
+	Seeds []uint64
+	// OptimizeLatencySlots models the model-based re-solve wall-clock.
+	OptimizeLatencySlots int
+}
+
+// DefaultFig2 returns the canonical Fig. 2 parameters.
+func DefaultFig2() Fig2Config {
+	return Fig2Config{
+		Rates:                []float64{0.02, 0.30, 0.08, 0.25},
+		SegmentSlots:         50000,
+		Window:               4000,
+		Stride:               1000,
+		Seeds:                []uint64{201, 202, 203},
+		OptimizeLatencySlots: 2000,
+	}
+}
+
+// Fig2Scenario builds the piecewise-stationary scenario and returns it
+// with the switch points.
+func Fig2Scenario(cfg Fig2Config) (Scenario, []int64, error) {
+	dev, err := CanonDevice()
+	if err != nil {
+		return Scenario{}, nil, err
+	}
+	mkPiecewise := func() workload.Arrivals {
+		segs := make([]workload.Segment, len(cfg.Rates))
+		for i, r := range cfg.Rates {
+			b, err := workload.NewBernoulli(r)
+			if err != nil {
+				panic(err)
+			}
+			segs[i] = workload.Segment{Slots: cfg.SegmentSlots, Proc: b}
+		}
+		pw, err := workload.NewPiecewise(segs)
+		if err != nil {
+			panic(err)
+		}
+		return pw
+	}
+	pw := mkPiecewise().(*workload.Piecewise)
+	sc := Scenario{
+		Name:          "fig2",
+		Device:        dev,
+		QueueCap:      CanonQueueCap,
+		LatencyWeight: CanonLatencyWeight,
+		Slots:         cfg.SegmentSlots * int64(len(cfg.Rates)),
+		Workload:      mkPiecewise,
+	}
+	return sc, pw.SwitchPoints(), nil
+}
+
+// Fig2 reproduces "Rapid Response": windowed energy reduction (vs
+// always-on) under piecewise-stationary input with marked switching
+// points, for Q-DPM versus the model-based adaptive pipeline and a fixed
+// timeout. Q-DPM's post-switch dips must be shorter than adaptive-LP's.
+func Fig2(cfg Fig2Config) (*Figure, error) {
+	sc, switches, err := Fig2Scenario(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dev := sc.Device
+
+	fig := &Figure{
+		Title:  "Fig. 2 — Rapid Response",
+		XLabel: "slot",
+		YLabel: "windowed energy reduction vs always-on",
+		Note: fmt.Sprintf("piecewise Bernoulli λ=%v, %d slots/segment, window %d, %d seeds, re-solve latency %d slots",
+			cfg.Rates, cfg.SegmentSlots, cfg.Window, len(cfg.Seeds), cfg.OptimizeLatencySlots),
+	}
+	for _, sp := range switches {
+		fig.VLines = append(fig.VLines, float64(sp))
+	}
+
+	for _, pf := range []PolicyFactory{
+		QDPMTrackingFactory(dev),
+		AdaptiveLPFactory(dev, cfg.Rates[0], cfg.OptimizeLatencySlots),
+		TimeoutFactory(dev, 8),
+	} {
+		var reps []*stats.Series
+		for _, seed := range cfg.Seeds {
+			s, err := WindowedEnergyReductionSeries(sc, pf, seed, cfg.Window, cfg.Stride)
+			if err != nil {
+				return nil, err
+			}
+			reps = append(reps, s)
+		}
+		mean, err := MeanSeries(pf.Name, reps)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, mean)
+	}
+	return fig, nil
+}

@@ -1,0 +1,226 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Render writes the figure as an ASCII chart followed by aligned numeric
+// columns (gnuplot/spreadsheet friendly).
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", f.Title, strings.Repeat("=", len(f.Title))); err != nil {
+		return err
+	}
+	if f.Note != "" {
+		fmt.Fprintf(w, "# %s\n", f.Note)
+	}
+	if len(f.Series) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return nil
+	}
+	f.renderChart(w)
+	f.renderColumns(w)
+	return nil
+}
+
+const (
+	chartWidth  = 72
+	chartHeight = 18
+)
+
+// renderChart draws all series into one character grid.
+func (f *Figure) renderChart(w io.Writer) {
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		if s.Len() == 0 {
+			continue
+		}
+		if s.X[0] < xmin {
+			xmin = s.X[0]
+		}
+		if s.X[s.Len()-1] > xmax {
+			xmax = s.X[s.Len()-1]
+		}
+		if v := s.YMin(); v < ymin {
+			ymin = v
+		}
+		if v := s.YMax(); v > ymax {
+			ymax = v
+		}
+	}
+	for _, y := range f.HLines {
+		if y < ymin {
+			ymin = y
+		}
+		if y > ymax {
+			ymax = y
+		}
+	}
+	if math.IsInf(xmin, 1) || xmax <= xmin {
+		return
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	grid := make([][]byte, chartHeight)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", chartWidth))
+	}
+	toCol := func(x float64) int {
+		c := int((x - xmin) / (xmax - xmin) * float64(chartWidth-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= chartWidth {
+			c = chartWidth - 1
+		}
+		return c
+	}
+	toRow := func(y float64) int {
+		r := int((ymax - y) / (ymax - ymin) * float64(chartHeight-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= chartHeight {
+			r = chartHeight - 1
+		}
+		return r
+	}
+	// Vertical markers first (underneath data).
+	for _, x := range f.VLines {
+		c := toCol(x)
+		for r := 0; r < chartHeight; r++ {
+			grid[r][c] = '|'
+		}
+	}
+	// Horizontal references.
+	for _, y := range f.HLines {
+		r := toRow(y)
+		for c := 0; c < chartWidth; c++ {
+			if grid[r][c] == ' ' {
+				grid[r][c] = '-'
+			}
+		}
+	}
+	// Series glyphs: 1, 2, 3, ...
+	for i, s := range f.Series {
+		glyph := byte('1' + i)
+		if i > 8 {
+			glyph = byte('a' + i - 9)
+		}
+		for k := 0; k < s.Len(); k++ {
+			grid[toRow(s.Y[k])][toCol(s.X[k])] = glyph
+		}
+	}
+	fmt.Fprintf(w, "  y: %.4g .. %.4g   x: %.4g .. %.4g\n", ymin, ymax, xmin, xmax)
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s\n", row)
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", chartWidth))
+	var legend []string
+	for i, s := range f.Series {
+		g := string(rune('1' + i))
+		if i > 8 {
+			g = string(rune('a' + i - 9))
+		}
+		legend = append(legend, fmt.Sprintf("%s=%s", g, s.Name))
+	}
+	var hrefs []string
+	var names []string
+	for name := range f.HLines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		hrefs = append(hrefs, fmt.Sprintf("-- %s=%.4g", name, f.HLines[name]))
+	}
+	fmt.Fprintf(w, "  legend: %s %s\n", strings.Join(legend, " "), strings.Join(hrefs, " "))
+	if len(f.VLines) > 0 {
+		fmt.Fprintf(w, "  | marks switching points at x=%v\n", f.VLines)
+	}
+}
+
+// renderColumns emits the numeric series, downsampled to at most 40 rows.
+func (f *Figure) renderColumns(w io.Writer) {
+	n := 0
+	for _, s := range f.Series {
+		if s.Len() > n {
+			n = s.Len()
+		}
+	}
+	if n == 0 {
+		return
+	}
+	step := 1
+	if n > 40 {
+		step = (n + 39) / 40
+	}
+	headers := []string{f.XLabel}
+	for _, s := range f.Series {
+		headers = append(headers, s.Name)
+	}
+	rows := [][]string{}
+	for i := 0; i < n; i += step {
+		row := make([]string, 0, len(headers))
+		x := math.NaN()
+		for _, s := range f.Series {
+			if i < s.Len() {
+				x = s.X[i]
+				break
+			}
+		}
+		row = append(row, fmt.Sprintf("%.0f", x))
+		for _, s := range f.Series {
+			if i < s.Len() {
+				row = append(row, fmt.Sprintf("%.4f", s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		rows = append(rows, row)
+	}
+	fmt.Fprintln(w)
+	RenderTable(w, "series data (downsampled)", headers, rows)
+}
+
+// RenderTable writes an aligned text table.
+func RenderTable(w io.Writer, title string, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}

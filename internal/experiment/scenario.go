@@ -1,0 +1,192 @@
+// Package experiment drives the figure and table reproductions: scenario
+// definitions, replicated runs with pooled statistics, windowed time
+// series, and text renderers for figures (numeric series + ASCII chart)
+// and tables.
+//
+// Every experiment is deterministic: a scenario plus a base seed fully
+// determines the output. Policy and workload instances are constructed
+// fresh per replica from factories so no state leaks across runs.
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/rng"
+	"repro/internal/slotsim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// PolicyFactory builds a fresh policy per replica.
+type PolicyFactory struct {
+	// Name labels the policy in outputs.
+	Name string
+	// New constructs the policy; stream is a dedicated policy stream.
+	New func(stream *rng.Stream) (slotsim.Policy, error)
+}
+
+// Scenario describes one simulated system.
+type Scenario struct {
+	// Name labels the scenario.
+	Name string
+	// Device is the managed PSM.
+	Device *device.Slotted
+	// QueueCap bounds the queue.
+	QueueCap int
+	// LatencyWeight scalarizes backlog into cost.
+	LatencyWeight float64
+	// Workload builds a fresh arrival process per replica.
+	Workload func() workload.Arrivals
+	// Slots is the run length.
+	Slots int64
+}
+
+// Validate checks the scenario.
+func (sc *Scenario) Validate() error {
+	if sc.Device == nil {
+		return fmt.Errorf("experiment: scenario %q needs a device", sc.Name)
+	}
+	if sc.Workload == nil {
+		return fmt.Errorf("experiment: scenario %q needs a workload factory", sc.Name)
+	}
+	if sc.Slots <= 0 {
+		return fmt.Errorf("experiment: scenario %q has non-positive slots %d", sc.Name, sc.Slots)
+	}
+	return nil
+}
+
+// RunOne executes one replica and returns the metrics. The observer, when
+// non-nil, sees every slot record.
+func RunOne(sc Scenario, pf PolicyFactory, seed uint64, observer func(slotsim.SlotRecord)) (slotsim.Metrics, error) {
+	if err := sc.Validate(); err != nil {
+		return slotsim.Metrics{}, err
+	}
+	root := rng.New(seed)
+	polStream := root.Split()
+	simStream := root.Split()
+	pol, err := pf.New(polStream)
+	if err != nil {
+		return slotsim.Metrics{}, fmt.Errorf("experiment: building policy %s: %w", pf.Name, err)
+	}
+	sim, err := slotsim.New(slotsim.Config{
+		Device:        sc.Device,
+		Arrivals:      sc.Workload(),
+		QueueCap:      sc.QueueCap,
+		Policy:        pol,
+		Stream:        simStream,
+		LatencyWeight: sc.LatencyWeight,
+	})
+	if err != nil {
+		return slotsim.Metrics{}, err
+	}
+	return sim.Run(sc.Slots, observer)
+}
+
+// Summary pools replica metrics for one policy on one scenario.
+type Summary struct {
+	Policy   string
+	Scenario string
+	// Replicas is the number of pooled runs.
+	Replicas int
+	// AvgPowerW, AvgCost, MeanWaitSlots, LossRate, and EnergyReduction
+	// aggregate per-replica values (EnergyReduction is relative to the
+	// always-on power of the device).
+	AvgPowerW       stats.Running
+	AvgCost         stats.Running
+	MeanWaitSlots   stats.Running
+	LossRate        stats.Running
+	EnergyReduction stats.Running
+}
+
+// RunReplicated executes one replica per seed and pools the metrics.
+func RunReplicated(sc Scenario, pf PolicyFactory, seeds []uint64) (*Summary, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiment: no seeds")
+	}
+	sum := &Summary{Policy: pf.Name, Scenario: sc.Name, Replicas: len(seeds)}
+	maxPower := sc.Device.MaxPowerEnergy() / sc.Device.SlotDuration
+	for _, seed := range seeds {
+		m, err := RunOne(sc, pf, seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		p := m.AvgPowerW(sc.Device.SlotDuration)
+		sum.AvgPowerW.Add(p)
+		sum.AvgCost.Add(m.AvgCost())
+		sum.MeanWaitSlots.Add(m.MeanWaitSlots())
+		sum.LossRate.Add(m.LossRate())
+		sum.EnergyReduction.Add(1 - p/maxPower)
+	}
+	return sum, nil
+}
+
+// WindowedCostSeries runs one replica and returns the sliding-window
+// average per-slot cost sampled every stride slots — the Fig. 1 y-axis.
+func WindowedCostSeries(sc Scenario, pf PolicyFactory, seed uint64, window, stride int) (*stats.Series, error) {
+	if window <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("experiment: window %d and stride %d must be positive", window, stride)
+	}
+	win, err := stats.NewWindow(window)
+	if err != nil {
+		return nil, err
+	}
+	series := &stats.Series{Name: pf.Name}
+	_, err = RunOne(sc, pf, seed, func(r slotsim.SlotRecord) {
+		win.Add(r.Cost)
+		if r.Slot%int64(stride) == int64(stride)-1 && win.Full() {
+			series.Append(float64(r.Slot+1), win.Mean())
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return series, nil
+}
+
+// WindowedEnergyReductionSeries runs one replica and returns the sliding-
+// window energy reduction relative to always-on — the Fig. 2 y-axis.
+func WindowedEnergyReductionSeries(sc Scenario, pf PolicyFactory, seed uint64, window, stride int) (*stats.Series, error) {
+	if window <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("experiment: window %d and stride %d must be positive", window, stride)
+	}
+	win, err := stats.NewWindow(window)
+	if err != nil {
+		return nil, err
+	}
+	maxE := sc.Device.MaxPowerEnergy()
+	series := &stats.Series{Name: pf.Name}
+	_, err = RunOne(sc, pf, seed, func(r slotsim.SlotRecord) {
+		win.Add(r.Energy)
+		if r.Slot%int64(stride) == int64(stride)-1 && win.Full() {
+			series.Append(float64(r.Slot+1), 1-win.Mean()/maxE)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return series, nil
+}
+
+// MeanSeries averages several equally-sampled series pointwise (multi-seed
+// figure smoothing). All series must share length and x grid.
+func MeanSeries(name string, in []*stats.Series) (*stats.Series, error) {
+	if len(in) == 0 {
+		return nil, fmt.Errorf("experiment: no series to average")
+	}
+	n := in[0].Len()
+	for _, s := range in[1:] {
+		if s.Len() != n {
+			return nil, fmt.Errorf("experiment: series lengths differ (%d vs %d)", s.Len(), n)
+		}
+	}
+	out := &stats.Series{Name: name}
+	for i := 0; i < n; i++ {
+		y := 0.0
+		for _, s := range in {
+			y += s.Y[i]
+		}
+		out.Append(in[0].X[i], y/float64(len(in)))
+	}
+	return out, nil
+}

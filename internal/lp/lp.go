@@ -1,0 +1,438 @@
+// Package lp implements a dense two-phase tableau simplex solver for
+// linear programs, from scratch on the standard library.
+//
+// This is the "widely applied linear programming policy optimization" the
+// Q-DPM paper positions itself against: the Benini-style stochastic DPM
+// baseline in internal/stochpm formulates optimal randomized policies as an
+// occupancy-measure LP and solves it here. Bland's anti-cycling rule is
+// used throughout because occupancy LPs are heavily degenerate.
+//
+// The solver accepts problems in computational standard form —
+// minimize c·x subject to Ax = b, x ≥ 0 — and a small builder converts
+// ≤/≥/= constraint systems into that form with slack and surplus
+// variables.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInfeasible reports that no feasible point exists.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// ErrUnbounded reports that the objective is unbounded below.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+// ErrNumerical reports that the simplex terminated but its solution fails
+// the final feasibility verification — the tableau degraded beyond repair
+// on a degenerate instance. Callers should treat it like a solver failure
+// and use an alternative method.
+var ErrNumerical = errors.New("lp: numerical breakdown")
+
+// Problem is a standard-form LP: minimize C·x subject to A x = B, x ≥ 0.
+type Problem struct {
+	C []float64
+	A [][]float64
+	B []float64
+}
+
+// Validate checks dimensions and finiteness.
+func (p *Problem) Validate() error {
+	m := len(p.B)
+	n := len(p.C)
+	if n == 0 {
+		return fmt.Errorf("lp: no variables")
+	}
+	if len(p.A) != m {
+		return fmt.Errorf("lp: A has %d rows, B has %d entries", len(p.A), m)
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("lp: row %d has %d columns, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("lp: A[%d][%d] = %v", i, j, v)
+			}
+		}
+	}
+	for i, v := range p.B {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("lp: B[%d] = %v", i, v)
+		}
+	}
+	for j, v := range p.C {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("lp: C[%d] = %v", j, v)
+		}
+	}
+	return nil
+}
+
+// Solution is an optimal basic feasible solution.
+type Solution struct {
+	// X is the optimal point.
+	X []float64
+	// Objective is C·X.
+	Objective float64
+	// Iterations counts simplex pivots across both phases.
+	Iterations int
+}
+
+// Numerical tolerances. optEps classifies a reduced cost as improving;
+// ratioEps classifies a pivot-column entry as usable in the ratio test;
+// driveOutEps is the minimum magnitude for pivoting a zero-valued
+// artificial variable out of the basis (pivoting on smaller elements
+// destroys the tableau's conditioning). Tolerances looser than the classic
+// 1e-9 are deliberate: occupancy-measure LPs carry probabilities down to
+// 1e-4, and 1e-9-scale noise otherwise keeps Bland's rule spinning on
+// zero-improvement pivots.
+const (
+	optEps      = 1e-7
+	ratioEps    = 1e-7
+	driveOutEps = 1e-6
+)
+
+// Solve runs two-phase simplex with Bland's rule. It returns
+// ErrInfeasible or ErrUnbounded as appropriate.
+func Solve(p Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := len(p.B)
+	n := len(p.C)
+
+	// Normalize to b >= 0.
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for i := range a {
+		a[i] = append([]float64(nil), p.A[i]...)
+		b[i] = p.B[i]
+		if b[i] < 0 {
+			for j := range a[i] {
+				a[i][j] = -a[i][j]
+			}
+			b[i] = -b[i]
+		}
+	}
+
+	// Phase 1: add artificial variables, minimize their sum.
+	// Tableau columns: n structural + m artificial + 1 rhs.
+	width := n + m + 1
+	t := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, width)
+		copy(t[i], a[i])
+		t[i][n+i] = 1
+		t[i][width-1] = b[i]
+	}
+	t[m] = make([]float64, width) // phase-1 objective row
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		basis[i] = n + i
+	}
+	// Objective row = -(sum of constraint rows) over structural columns,
+	// expressing artificial cost in terms of nonbasic variables.
+	for j := 0; j < width; j++ {
+		s := 0.0
+		for i := 0; i < m; i++ {
+			s += t[i][j]
+		}
+		if j < n || j == width-1 {
+			t[m][j] = -s
+		}
+	}
+
+	iters, err := simplexLoop(t, basis, n+m)
+	if err != nil {
+		return nil, err
+	}
+	if t[m][width-1] < -1e-7 {
+		return nil, ErrInfeasible
+	}
+
+	// Drive any artificial variables out of the basis (degenerate rows).
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n; j++ {
+			if math.Abs(t[i][j]) > driveOutEps {
+				pivot(t, basis, i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Row is (numerically) all zeros over structural columns: a
+			// redundant constraint. Zero the row outright so its noise
+			// entries can never win a ratio test — pivoting on a ~1e-7
+			// residue would destroy the tableau's conditioning.
+			for j := 0; j < width; j++ {
+				t[i][j] = 0
+			}
+		}
+	}
+
+	// Phase 2: replace the objective row with the true costs (reduced).
+	for j := 0; j < width; j++ {
+		t[m][j] = 0
+	}
+	for j := 0; j < n; j++ {
+		t[m][j] = p.C[j]
+	}
+	// Make reduced costs of basic variables zero.
+	for i := 0; i < m; i++ {
+		if basis[i] >= n {
+			continue
+		}
+		c := t[m][basis[i]]
+		if c == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			t[m][j] -= c * t[i][j]
+		}
+	}
+	it2, err := simplexLoop(t, basis, n) // artificial columns excluded
+	iters += it2
+	if err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			x[basis[i]] = t[i][width-1]
+		}
+	}
+
+	// Final verification against the ORIGINAL problem data: every dense
+	// pivot loses precision, and on heavily degenerate instances the
+	// tableau can degrade silently. Returning a wrong "optimum" is worse
+	// than returning an error.
+	bScale := 1.0
+	for _, v := range p.B {
+		if math.Abs(v) > bScale {
+			bScale = math.Abs(v)
+		}
+	}
+	for j := 0; j < n; j++ {
+		if x[j] < -1e-6*bScale {
+			return nil, fmt.Errorf("%w: negative variable x[%d]=%v", ErrNumerical, j, x[j])
+		}
+		if x[j] < 0 {
+			x[j] = 0
+		}
+	}
+	for i := 0; i < len(p.B); i++ {
+		dot := 0.0
+		for j := 0; j < n; j++ {
+			dot += p.A[i][j] * x[j]
+		}
+		if math.Abs(dot-p.B[i]) > 1e-6*bScale {
+			return nil, fmt.Errorf("%w: row %d residual %v", ErrNumerical, i, dot-p.B[i])
+		}
+	}
+
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.C[j] * x[j]
+	}
+	return &Solution{X: x, Objective: obj, Iterations: iters}, nil
+}
+
+// simplexLoop pivots until optimal over the first `cols` columns. The
+// entering rule is Dantzig's (most negative reduced cost), which reaches
+// the optimum of these occupancy LPs in a handful of pivots; while the
+// objective stalls on a degenerate vertex it falls back to Bland's rule
+// (smallest index), whose anti-cycling guarantee breaks the stall. Keeping
+// the pivot count low matters beyond speed: every dense tableau pivot
+// accumulates rounding error, and hundreds of degenerate Bland pivots can
+// corrupt the tableau outright.
+func simplexLoop(t [][]float64, basis []int, cols int) (int, error) {
+	m := len(basis)
+	width := len(t[0])
+	iters := 0
+	maxIters := 50000 + 200*(m+cols)
+	stall := 0
+	lastObj := t[m][width-1]
+	for {
+		// Entering column.
+		col := -1
+		if stall > 25 {
+			// Bland: smallest index with negative reduced cost.
+			for j := 0; j < cols; j++ {
+				if t[m][j] < -optEps {
+					col = j
+					break
+				}
+			}
+		} else {
+			// Dantzig: most negative reduced cost.
+			best := -optEps
+			for j := 0; j < cols; j++ {
+				if t[m][j] < best {
+					best = t[m][j]
+					col = j
+				}
+			}
+		}
+		if col < 0 {
+			return iters, nil // optimal
+		}
+		// Leaving row: min ratio, Bland tie-break on basis index.
+		row := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][col] > ratioEps {
+				ratio := t[i][width-1] / t[i][col]
+				if ratio < bestRatio-1e-12 || (math.Abs(ratio-bestRatio) <= 1e-12 && (row < 0 || basis[i] < basis[row])) {
+					bestRatio = ratio
+					row = i
+				}
+			}
+		}
+		if row < 0 {
+			// No leaving row. For a genuinely improving direction this
+			// means the LP is unbounded; for a noise-level reduced cost
+			// (degenerate vertex, accumulated float error) it only means
+			// the column cannot improve — zero it and continue.
+			if t[m][col] > -1e-5 {
+				t[m][col] = 0
+				continue
+			}
+			return iters, ErrUnbounded
+		}
+		pivot(t, basis, row, col)
+		iters++
+		// Track objective progress (the rhs of the objective row carries
+		// the negated objective, which rises as we minimize).
+		if t[m][width-1] > lastObj+1e-12 {
+			stall = 0
+			lastObj = t[m][width-1]
+		} else {
+			stall++
+		}
+		if iters > maxIters {
+			return iters, fmt.Errorf("lp: simplex exceeded %d iterations", maxIters)
+		}
+	}
+}
+
+// pivot performs a full tableau pivot on (row, col).
+func pivot(t [][]float64, basis []int, row, col int) {
+	width := len(t[0])
+	pv := t[row][col]
+	for j := 0; j < width; j++ {
+		t[row][j] /= pv
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			t[i][j] -= f * t[row][j]
+		}
+	}
+	basis[row] = col
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+
+// Sense is a constraint relation.
+type Sense int
+
+// Constraint relations.
+const (
+	LE Sense = iota // ≤
+	GE              // ≥
+	EQ              // =
+)
+
+// Builder assembles an LP from ≤/≥/= rows and converts to standard form.
+type Builder struct {
+	nVars  int
+	obj    []float64
+	rows   [][]float64
+	rhs    []float64
+	senses []Sense
+}
+
+// NewBuilder returns a builder over nVars structural variables (all ≥ 0).
+func NewBuilder(nVars int) (*Builder, error) {
+	if nVars <= 0 {
+		return nil, fmt.Errorf("lp: builder needs at least one variable, got %d", nVars)
+	}
+	return &Builder{nVars: nVars, obj: make([]float64, nVars)}, nil
+}
+
+// SetObjective sets the minimization coefficients.
+func (bl *Builder) SetObjective(c []float64) error {
+	if len(c) != bl.nVars {
+		return fmt.Errorf("lp: objective has %d coefficients, want %d", len(c), bl.nVars)
+	}
+	copy(bl.obj, c)
+	return nil
+}
+
+// Add appends a constraint row·x (sense) rhs.
+func (bl *Builder) Add(row []float64, sense Sense, rhs float64) error {
+	if len(row) != bl.nVars {
+		return fmt.Errorf("lp: constraint has %d coefficients, want %d", len(row), bl.nVars)
+	}
+	bl.rows = append(bl.rows, append([]float64(nil), row...))
+	bl.rhs = append(bl.rhs, rhs)
+	bl.senses = append(bl.senses, sense)
+	return nil
+}
+
+// Build converts to standard form (slack for ≤, surplus for ≥).
+func (bl *Builder) Build() Problem {
+	extra := 0
+	for _, s := range bl.senses {
+		if s != EQ {
+			extra++
+		}
+	}
+	n := bl.nVars + extra
+	p := Problem{
+		C: make([]float64, n),
+		A: make([][]float64, len(bl.rows)),
+		B: append([]float64(nil), bl.rhs...),
+	}
+	copy(p.C, bl.obj)
+	slack := bl.nVars
+	for i, row := range bl.rows {
+		r := make([]float64, n)
+		copy(r, row)
+		switch bl.senses[i] {
+		case LE:
+			r[slack] = 1
+			slack++
+		case GE:
+			r[slack] = -1
+			slack++
+		}
+		p.A[i] = r
+	}
+	return p
+}
+
+// SolveBuilder builds and solves, returning only the structural variables.
+func (bl *Builder) Solve() (*Solution, error) {
+	sol, err := Solve(bl.Build())
+	if err != nil {
+		return nil, err
+	}
+	sol.X = sol.X[:bl.nVars]
+	return sol, nil
+}

@@ -1,0 +1,120 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/slotsim"
+	"repro/internal/workload"
+)
+
+// burstySchedule generates a deterministic on/off arrival schedule for
+// oracle tests: bursts of ~50 slots at rate 0.8 separated by ~300 quiet
+// slots.
+func burstySchedule(n int, seed uint64) []int {
+	oo, err := workload.NewOnOff(0.8, 50, 300)
+	if err != nil {
+		panic(err)
+	}
+	s := rng.New(seed)
+	counts := make([]int, n)
+	for i := range counts {
+		counts[i] = oo.Next(s)
+	}
+	return counts
+}
+
+func runSchedule(t *testing.T, pol slotsim.Policy, counts []int, seed uint64) slotsim.Metrics {
+	t.Helper()
+	dev := synthDev(t)
+	pb, err := workload.NewPlayback(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := slotsim.New(slotsim.Config{
+		Device: dev, Arrivals: pb, QueueCap: 8,
+		Policy: pol, Stream: rng.New(seed), LatencyWeight: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run(int64(len(counts)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestOracleValidation(t *testing.T) {
+	dev := synthDev(t)
+	if _, err := NewOracle(dev, nil); err == nil {
+		t.Error("empty schedule accepted")
+	}
+}
+
+func TestOracleBeatsCausalHeuristics(t *testing.T) {
+	// Clairvoyance must dominate every causal heuristic on total cost for
+	// the same deterministic schedule.
+	counts := burstySchedule(60000, 7)
+	dev := synthDev(t)
+
+	oracle, err := NewOracle(dev, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mOr := runSchedule(t, oracle, counts, 1)
+
+	gr, _ := NewGreedyOff(dev)
+	to, _ := NewFixedTimeout(dev, 8)
+	ao, _ := NewAlwaysOn(dev)
+	for _, other := range []slotsim.Policy{gr, to, ao} {
+		m := runSchedule(t, other, counts, 1)
+		if mOr.CostTotal > m.CostTotal*1.001 {
+			t.Errorf("oracle cost %v exceeds %s cost %v", mOr.CostTotal, other.Name(), m.CostTotal)
+		}
+	}
+}
+
+func TestOracleSleepsThroughLongGapsOnly(t *testing.T) {
+	// Schedule: requests at slots 0 and 100 — one long gap.
+	counts := make([]int, 200)
+	counts[0], counts[100] = 1, 1
+	dev := synthDev(t)
+	oracle, err := NewOracle(dev, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runSchedule(t, oracle, counts, 2)
+	// It must have slept most of the run.
+	if m.StateSlots[2] < 150 {
+		t.Errorf("oracle slept only %d/200 slots across a 100-slot gap", m.StateSlots[2])
+	}
+	// Dense schedule: arrivals every slot — it must never sleep.
+	dense := make([]int, 200)
+	for i := range dense {
+		dense[i] = 1
+	}
+	oracle2, err := NewOracle(dev, dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := runSchedule(t, oracle2, dense, 3)
+	if m2.StateSlots[2] > 0 {
+		t.Errorf("oracle slept %d slots under back-to-back arrivals", m2.StateSlots[2])
+	}
+}
+
+func TestOracleSilentTailSleeps(t *testing.T) {
+	// After the schedule ends the oracle sees infinite silence and must
+	// park in the deep state.
+	counts := []int{1, 0, 0}
+	dev := synthDev(t)
+	oracle, err := NewOracle(dev, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := oracle.Decide(slotsim.Observation{Phase: 0, Queue: 0, Slot: 500})
+	if got != 2 {
+		t.Errorf("oracle beyond horizon chose %d, want deep sleep", got)
+	}
+}

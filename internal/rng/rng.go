@@ -1,0 +1,222 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// streams for simulation.
+//
+// Reproducibility is a hard requirement for the experiment harness: every
+// figure and table in EXPERIMENTS.md must regenerate bit-identically from a
+// seed. The standard library's math/rand is seedable but its stream layout
+// is not guaranteed across Go releases, so this package implements PCG-XSL-
+// RR-128/64 (O'Neill's PCG family) from scratch. The generator state is two
+// uint64 words; output is a 64-bit permuted xorshift of the 128-bit LCG
+// state.
+//
+// Streams are splittable: Split derives an independent child stream from a
+// parent, so concurrent simulation replicas never share state and adding a
+// consumer never perturbs existing streams.
+package rng
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Stream is a deterministic pseudo-random number generator. It implements
+// the subset of math/rand methods the simulator needs plus splitting.
+// The zero value is not valid; use New or Split.
+type Stream struct {
+	hi, lo uint64 // 128-bit LCG state
+	incHi  uint64 // stream selector (must be odd in low word)
+	incLo  uint64
+}
+
+// LCG multiplier for the 128-bit PCG state (from the PCG reference
+// implementation).
+const (
+	mulHi = 2549297995355413924
+	mulLo = 4865540595714422341
+)
+
+// New returns a Stream seeded from seed with the default stream selector.
+// Distinct seeds give statistically independent streams.
+func New(seed uint64) *Stream {
+	return NewWithStream(seed, 0)
+}
+
+// NewWithStream returns a Stream seeded from seed on sub-stream sel. The
+// (seed, sel) pair fully determines the output sequence.
+func NewWithStream(seed, sel uint64) *Stream {
+	s := &Stream{}
+	// Derive the increment from the selector; the low word must be odd.
+	s.incHi = splitmix(&sel)
+	s.incLo = splitmix(&sel) | 1
+	// Standard PCG seeding: state = 0, advance, add seed, advance.
+	s.hi, s.lo = 0, 0
+	s.step()
+	s.lo, _ = add128(s.lo, seed)
+	h := splitmix(&seed)
+	s.hi += h
+	s.step()
+	return s
+}
+
+// splitmix is SplitMix64; used only for seeding and splitting.
+func splitmix(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func add128(aLo, bLo uint64) (lo uint64, carry uint64) {
+	lo, c := bits.Add64(aLo, bLo, 0)
+	return lo, c
+}
+
+// step advances the 128-bit LCG state.
+func (s *Stream) step() {
+	// state = state*mul + inc (128-bit arithmetic).
+	hi, lo := bits.Mul64(s.lo, mulLo)
+	hi += s.hi*mulLo + s.lo*mulHi
+	lo, c := bits.Add64(lo, s.incLo, 0)
+	hi += s.incHi + c
+	s.hi, s.lo = hi, lo
+}
+
+// Uint64 returns the next 64-bit value in the stream.
+func (s *Stream) Uint64() uint64 {
+	s.step()
+	// XSL-RR output function: xor-fold the state, rotate by the top bits.
+	rot := uint(s.hi >> 58)
+	return bits.RotateLeft64(s.hi^s.lo, -int(rot))
+}
+
+// Split derives an independent child stream. The parent advances by one
+// draw; the child's sequence shares no state with the parent afterwards.
+func (s *Stream) Split() *Stream {
+	seed := s.Uint64()
+	sel := s.Uint64()
+	return NewWithStream(seed, sel)
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 random bits.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform value in (0, 1); useful for inverse-CDF
+// transforms that must not see exactly 0 (e.g. -log(u)).
+func (s *Stream) Float64Open() float64 {
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0, matching
+// math/rand semantics.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's unbiased
+// multiply-shift rejection method. It panics if n == 0.
+func (s *Stream) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	hi, lo := bits.Mul64(s.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// NormFloat64 returns a standard normal variate via the polar
+// (Marsaglia) method.
+func (s *Stream) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// ExpFloat64 returns an Exp(1) variate via inverse CDF.
+func (s *Stream) ExpFloat64() float64 {
+	return -math.Log(s.Float64Open())
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes the n elements addressed by swap using Fisher–Yates.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) {
+	if n < 0 {
+		panic("rng: Shuffle called with n < 0")
+	}
+	for i := n - 1; i > 0; i-- {
+		swap(i, s.Intn(i+1))
+	}
+}
+
+// Bool returns true with probability p. It panics if p is outside [0, 1].
+func (s *Stream) Bool(p float64) bool {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("rng: Bool probability %v out of [0,1]", p))
+	}
+	return s.Float64() < p
+}
+
+// State returns the serializable state of the stream.
+func (s *Stream) State() State {
+	return State{Hi: s.hi, Lo: s.lo, IncHi: s.incHi, IncLo: s.incLo}
+}
+
+// State is a snapshot of a Stream, suitable for checkpointing.
+type State struct {
+	Hi, Lo, IncHi, IncLo uint64
+}
+
+// Restore returns a Stream positioned exactly at st. It returns an error if
+// the state is invalid (the increment low word must be odd).
+func Restore(st State) (*Stream, error) {
+	if st.IncLo&1 == 0 {
+		return nil, errors.New("rng: invalid state: increment must be odd")
+	}
+	return &Stream{hi: st.Hi, lo: st.Lo, incHi: st.IncHi, incLo: st.IncLo}, nil
+}
+
+// Source64 adapts a Stream to math/rand.Source64. The adapter lets code
+// that wants a *rand.Rand (e.g. testing/quick) share determinism with the
+// simulator.
+type Source64 struct{ S *Stream }
+
+// Uint64 implements rand.Source64.
+func (a Source64) Uint64() uint64 { return a.S.Uint64() }
+
+// Int63 implements rand.Source.
+func (a Source64) Int63() int64 { return int64(a.S.Uint64() >> 1) }
+
+// Seed implements rand.Source; reseeding resets the stream in place.
+func (a Source64) Seed(seed int64) { *a.S = *New(uint64(seed)) }

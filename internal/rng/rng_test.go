@@ -1,0 +1,330 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: streams with equal seeds diverged: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("streams with different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestSubStreamsDiffer(t *testing.T) {
+	a := NewWithStream(7, 0)
+	b := NewWithStream(7, 1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("sub-streams of one seed collided %d/1000 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	child := parent.Split()
+	// The child must be deterministic given the parent's history.
+	parent2 := New(99)
+	child2 := parent2.Split()
+	for i := 0; i < 100; i++ {
+		if child.Uint64() != child2.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+	// Parent and child should not produce identical sequences.
+	p := New(99)
+	c := p.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if p.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("parent and child streams collided %d/1000 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64OpenNeverZero(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 100000; i++ {
+		if f := s.Float64Open(); f <= 0 || f >= 1 {
+			t.Fatalf("Float64Open out of (0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(5)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(6)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(8)
+	const buckets = 10
+	const n = 100000
+	var count [buckets]int
+	for i := 0; i < n; i++ {
+		count[s.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range count {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d deviates too far from %v", b, c, want)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(9)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := s.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(10)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(11)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	s := New(12)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("Shuffle changed element multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(13)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %v", p)
+	}
+	if s.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+}
+
+func TestBoolPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bool(1.5) did not panic")
+		}
+	}()
+	New(1).Bool(1.5)
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	s := New(77)
+	for i := 0; i < 17; i++ {
+		s.Uint64()
+	}
+	st := s.State()
+	r, err := Restore(st)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		if a, b := s.Uint64(), r.Uint64(); a != b {
+			t.Fatalf("restored stream diverged at %d: %d != %d", i, a, b)
+		}
+	}
+}
+
+func TestRestoreRejectsEvenIncrement(t *testing.T) {
+	if _, err := Restore(State{IncLo: 2}); err == nil {
+		t.Fatal("Restore accepted an even increment")
+	}
+}
+
+func TestSource64Adapter(t *testing.T) {
+	s := New(21)
+	src := Source64{S: s}
+	for i := 0; i < 1000; i++ {
+		if v := src.Int63(); v < 0 {
+			t.Fatalf("Int63 returned negative %d", v)
+		}
+	}
+}
+
+// Property: Uint64n(n) < n for all n > 0.
+func TestUint64nPropertyBound(t *testing.T) {
+	s := New(31)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return s.Uint64n(n) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: two streams restored from the same state produce equal prefixes.
+func TestRestorePropertyEqualPrefix(t *testing.T) {
+	f := func(seed uint64, skip uint8) bool {
+		s := New(seed)
+		for i := 0; i < int(skip); i++ {
+			s.Uint64()
+		}
+		st := s.State()
+		a, err1 := Restore(st)
+		b, err2 := Restore(st)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	s := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = s.Float64()
+	}
+	_ = sink
+}
