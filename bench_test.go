@@ -10,10 +10,12 @@
 package repro_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiment"
 	"repro/internal/mdp"
 	"repro/internal/qlearn"
@@ -224,6 +226,77 @@ func BenchmarkAblationVariant(b *testing.B) {
 		if _, err := experiment.TableAblations(specs, 0.1, 20000, []uint64{51}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchReplicatedScenario is the shared workload for the engine
+// benchmarks: 8 Q-DPM replicas of 20k slots each.
+func benchReplicatedScenario(b *testing.B) (experiment.Scenario, experiment.PolicyFactory, []uint64) {
+	b.Helper()
+	dev, err := experiment.CanonDevice()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := experiment.Scenario{
+		Name: "bench-replicated", Device: dev,
+		QueueCap:      experiment.CanonQueueCap,
+		LatencyWeight: experiment.CanonLatencyWeight,
+		Slots:         20000,
+		Workload:      benchBernoulli(0.1),
+	}
+	return sc, experiment.QDPMFactory(dev), engine.DeriveSeeds(7, 8)
+}
+
+// BenchmarkRunReplicatedSerial pins the single-worker baseline: 8 Q-DPM
+// replicas on one goroutine. BENCH_pr1.json records this next to the
+// pooled variant so later PRs can track the parallel speedup.
+func BenchmarkRunReplicatedSerial(b *testing.B) {
+	sc, pf, seeds := benchReplicatedScenario(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunReplicatedCtx(context.Background(), sc, pf, seeds,
+			experiment.Parallel{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunReplicatedPooled runs the same 8 replicas on a GOMAXPROCS
+// worker pool. On an N-core host this should approach N× the serial
+// throughput; the output is bit-identical either way.
+func BenchmarkRunReplicatedPooled(b *testing.B) {
+	sc, pf, seeds := benchReplicatedScenario(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunReplicatedCtx(context.Background(), sc, pf, seeds,
+			experiment.Parallel{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQDPMReplicaSlots measures the per-slot cost of one full Q-DPM
+// replica (decision + simulation + learning update). The -benchmem
+// numbers guard the allocation-free hot path.
+func BenchmarkQDPMReplicaSlots(b *testing.B) {
+	dev, err := experiment.CanonDevice()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := experiment.Scenario{
+		Name: "bench-slots", Device: dev,
+		QueueCap:      experiment.CanonQueueCap,
+		LatencyWeight: experiment.CanonLatencyWeight,
+		Slots:         int64(b.N),
+		Workload:      benchBernoulli(0.1),
+	}
+	pf := experiment.QDPMFactory(dev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := experiment.RunOne(sc, pf, 1, nil); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -10,24 +10,59 @@
 //	qdpm-bench -exp ablate   # design-choice ablations
 //	qdpm-bench -exp all      # everything
 //
-// -quick shrinks run lengths ~5x for a fast smoke pass. Output is plain
-// text: an ASCII chart plus the numeric series for figures, aligned
-// tables otherwise.
+// -quick shrinks run lengths ~5x for a fast smoke pass. -parallel sets
+// the replica worker-pool size (default: GOMAXPROCS; 1 forces the serial
+// path). -seed replaces each experiment's canonical seed list with seeds
+// derived from the given base, keeping the replica count. Results are
+// bit-identical across -parallel values: the pool only changes wall-clock
+// time, never output. Table R1 is a wall-clock microbenchmark and always
+// runs serially. Output is plain text: an ASCII chart plus the numeric
+// series for figures, aligned tables otherwise.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiment"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig1|fig2|r1|r2|r3|r4|ablate|all")
 	quick := flag.Bool("quick", false, "shrink run lengths ~5x")
+	parallel := flag.Int("parallel", 0, "replica worker-pool size (0 = GOMAXPROCS, 1 = serial)")
+	seed := flag.Uint64("seed", 0, "derive replica seeds from this base (0 = canonical seeds)")
+	progress := flag.Bool("progress", false, "print replica completion progress to stderr")
 	flag.Parse()
+
+	// Ctrl-C cancels the pool; replicas poll the context between slot
+	// chunks, so the exit is prompt even mid-figure.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	par := experiment.Parallel{Workers: *parallel}
+	if *progress {
+		par.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d replicas", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	// reseed replaces canonical seeds with ones derived from -seed; the
+	// offset keeps experiments on distinct streams under one base.
+	reseed := func(canonical []uint64, offset uint64) []uint64 {
+		if *seed == 0 {
+			return canonical
+		}
+		return engine.DeriveSeeds(*seed+offset, len(canonical))
+	}
 
 	run := func(name string, f func() error) {
 		fmt.Printf("\n##### %s (started %s)\n\n", name, time.Now().Format(time.TimeOnly))
@@ -50,7 +85,8 @@ func main() {
 				cfg.Slots = 60000
 				cfg.Seeds = cfg.Seeds[:2]
 			}
-			fig, err := experiment.Fig1(cfg)
+			cfg.Seeds = reseed(cfg.Seeds, 1)
+			fig, err := experiment.Fig1Ctx(ctx, cfg, par)
 			if err != nil {
 				return err
 			}
@@ -65,7 +101,8 @@ func main() {
 				cfg.SegmentSlots = 12000
 				cfg.Seeds = cfg.Seeds[:1]
 			}
-			fig, err := experiment.Fig2(cfg)
+			cfg.Seeds = reseed(cfg.Seeds, 2)
+			fig, err := experiment.Fig2Ctx(ctx, cfg, par)
 			if err != nil {
 				return err
 			}
@@ -79,7 +116,7 @@ func main() {
 			if *quick {
 				caps = []int{3, 8}
 			}
-			tab, _, err := experiment.TableR1(caps)
+			tab, _, err := experiment.TableR1Ctx(ctx, caps)
 			if err != nil {
 				return err
 			}
@@ -97,7 +134,8 @@ func main() {
 				slots = 40000
 				seeds = seeds[:3]
 			}
-			tab, err := experiment.TableR2([]float64{0.02, 0.08, 0.3}, slots, seeds)
+			seeds = reseed(seeds, 3)
+			tab, err := experiment.TableR2Ctx(ctx, []float64{0.02, 0.08, 0.3}, slots, seeds, par)
 			if err != nil {
 				return err
 			}
@@ -113,7 +151,8 @@ func main() {
 			if *quick {
 				cfg.SegmentSlots = 12000
 			}
-			tab, err := experiment.TableR3(cfg)
+			cfg.Seeds = reseed(cfg.Seeds, 4)
+			tab, err := experiment.TableR3Ctx(ctx, cfg, par)
 			if err != nil {
 				return err
 			}
@@ -131,7 +170,8 @@ func main() {
 				slots = 30000
 				seeds = seeds[:2]
 			}
-			tab, err := experiment.TableR4(0.15, 0.2, 5000, slots, seeds)
+			seeds = reseed(seeds, 5)
+			tab, err := experiment.TableR4Ctx(ctx, 0.15, 0.2, 5000, slots, seeds, par)
 			if err != nil {
 				return err
 			}
@@ -150,7 +190,8 @@ func main() {
 				slots = 40000
 				seeds = seeds[:1]
 			}
-			tab, err := experiment.TableAblations(specs, 0.1, slots, seeds)
+			seeds = reseed(seeds, 6)
+			tab, err := experiment.TableAblationsCtx(ctx, specs, 0.1, slots, seeds, par)
 			if err != nil {
 				return err
 			}

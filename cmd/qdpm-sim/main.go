@@ -1,9 +1,16 @@
-// Command qdpm-sim runs one power-management simulation and prints a
-// metrics report:
+// Command qdpm-sim runs one power-management simulation — or a pooled
+// multi-replica comparison — and prints a metrics report:
 //
 //	qdpm-sim -device synthetic3 -policy q-dpm -rate 0.1 -slots 200000
 //	qdpm-sim -device hdd -policy timeout -timeout 16 -workload onoff
 //	qdpm-sim -device wlan -policy optimal -rate 0.3
+//	qdpm-sim -policy q-dpm -replicas 16 -parallel 4   # pooled, 4 workers
+//
+// With -replicas N > 1 the run fans N deterministic replicas (seeds
+// derived from -seed) across the experiment engine's worker pool and
+// reports pooled means with 95% confidence intervals; -parallel bounds
+// the pool (0 = GOMAXPROCS). Results are bit-identical for every
+// -parallel value.
 //
 // Policies: q-dpm, q-dpm-sarsa, q-dpm-double, q-dpm-fuzzy, optimal,
 // adaptive-lp, always-on, greedy-off, timeout, adaptive-timeout,
@@ -11,13 +18,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/dist"
+	"repro/internal/engine"
+	"repro/internal/experiment"
 	"repro/internal/mdp"
 	"repro/internal/policy"
 	"repro/internal/qlearn"
@@ -42,10 +53,12 @@ func run() error {
 		rate     = flag.Float64("rate", 0.1, "mean arrivals per slot")
 		slotDur  = flag.Float64("slot", 0.5, "slot duration in seconds")
 		slots    = flag.Int64("slots", 200000, "slots to simulate")
-		seed     = flag.Uint64("seed", 1, "rng seed")
+		seed     = flag.Uint64("seed", 1, "rng seed (replica seeds derive from it when -replicas > 1)")
 		queueCap = flag.Int("qcap", 8, "queue capacity")
 		latW     = flag.Float64("latw", 0.3, "latency weight (J per request-slot)")
 		timeout  = flag.Int64("timeout", 8, "timeout slots (timeout policy)")
+		replicas = flag.Int("replicas", 1, "independent replicas to pool")
+		parallel = flag.Int("parallel", 0, "worker-pool size for replicas (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -63,27 +76,54 @@ func run() error {
 		return err
 	}
 
-	root := rng.New(*seed)
-	polStream := root.Split()
-	simStream := root.Split()
-
-	pol, err := buildPolicy(*polName, dev, *queueCap, *latW, *rate, *timeout, polStream)
-	if err != nil {
-		return err
-	}
-
-	sim, err := slotsim.New(slotsim.Config{
+	sc := experiment.Scenario{
+		Name:          *devName,
 		Device:        dev,
-		Arrivals:      arr,
 		QueueCap:      *queueCap,
-		Policy:        pol,
-		Stream:        simStream,
 		LatencyWeight: *latW,
-	})
-	if err != nil {
-		return err
+		Slots:         *slots,
+		Workload:      arr.Clone,
 	}
-	m, err := sim.Run(*slots, nil)
+	pf := experiment.PolicyFactory{
+		Name: *polName,
+		New: func(stream *rng.Stream) (slotsim.Policy, error) {
+			return buildPolicy(*polName, dev, *queueCap, *latW, *rate, *timeout, stream)
+		},
+	}
+	if *polName == "optimal" {
+		// The optimal policy is stateless and its MDP solve is identical
+		// for every replica: solve once, share across the pool.
+		opt, err := buildPolicy(*polName, dev, *queueCap, *latW, *rate, *timeout, nil)
+		if err != nil {
+			return err
+		}
+		pf.New = func(*rng.Stream) (slotsim.Policy, error) { return opt, nil }
+	}
+
+	if *replicas > 1 {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		seeds := engine.DeriveSeeds(*seed, *replicas)
+		sum, err := experiment.RunReplicatedCtx(ctx, sc, pf, seeds, experiment.Parallel{Workers: *parallel})
+		if err != nil {
+			return err
+		}
+		maxPower := dev.MaxPowerEnergy() / dev.SlotDuration
+		fmt.Printf("device        %s (%d states, slot %.3gs)\n", psm.Name, psm.NumStates(), dev.SlotDuration)
+		fmt.Printf("workload      %s\n", arr)
+		fmt.Printf("policy        %s\n", pf.Name)
+		fmt.Printf("replicas      %d × %d slots (base seed %d)\n", sum.Replicas, *slots, *seed)
+		fmt.Printf("avg power     %.4f ± %.4f W (always-on %.4f W)\n",
+			sum.AvgPowerW.Mean(), sum.AvgPowerW.CI95(), maxPower)
+		fmt.Printf("energy red.   %.1f%% ± %.1f%%\n",
+			100*sum.EnergyReduction.Mean(), 100*sum.EnergyReduction.CI95())
+		fmt.Printf("avg cost      %.4f ± %.4f J/slot\n", sum.AvgCost.Mean(), sum.AvgCost.CI95())
+		fmt.Printf("mean wait     %.3f ± %.3f slots\n", sum.MeanWaitSlots.Mean(), sum.MeanWaitSlots.CI95())
+		fmt.Printf("loss rate     %.3f%% ± %.3f%%\n", 100*sum.LossRate.Mean(), 100*sum.LossRate.CI95())
+		return nil
+	}
+
+	m, err := experiment.RunOne(sc, pf, *seed, nil)
 	if err != nil {
 		return err
 	}
@@ -91,7 +131,7 @@ func run() error {
 	maxPower := dev.MaxPowerEnergy() / dev.SlotDuration
 	fmt.Printf("device        %s (%d states, slot %.3gs)\n", psm.Name, psm.NumStates(), dev.SlotDuration)
 	fmt.Printf("workload      %s\n", arr)
-	fmt.Printf("policy        %s\n", pol.Name())
+	fmt.Printf("policy        %s\n", pf.Name)
 	fmt.Printf("slots         %d (%.1f s simulated)\n", m.Slots, float64(m.Slots)*dev.SlotDuration)
 	fmt.Printf("energy        %.2f J\n", m.EnergyJ)
 	fmt.Printf("avg power     %.4f W (always-on %.4f W)\n", m.AvgPowerW(dev.SlotDuration), maxPower)

@@ -4,16 +4,22 @@
 // table, the per-decision work, and what that buys in battery life.
 //
 //	go run ./examples/embedded
+//	go run ./examples/embedded -slots 200000 -seed 5
+//
+// The per-slot timing is a wall-clock measurement, so the runs execute
+// serially — concurrent simulation would corrupt the reported
+// nanoseconds per slot (the same rule Table R1 follows).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/device"
-	"repro/internal/policy"
+	"repro/internal/experiment"
 	"repro/internal/qlearn"
 	"repro/internal/rng"
 	"repro/internal/slotsim"
@@ -24,65 +30,65 @@ const (
 	slotSeconds = 0.05 // 50 ms slots
 	queueCap    = 4
 	latencyW    = 0.002 // joule-scale of the radio is mW·s
-	slots       = 500000
 )
 
 func main() {
+	var (
+		slots = flag.Int64("slots", 500000, "slots per run")
+		seed  = flag.Uint64("seed", 5, "rng seed")
+	)
+	flag.Parse()
+
 	dev, err := device.SensorRadio().Slot(slotSeconds)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Sensor traffic: rare bursts (events) over a quiet background.
-	arr, err := workload.NewOnOff(0.6, 40, 2000)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	manager, err := core.New(core.Config{
+	sc := experiment.Scenario{
+		Name:          "embedded",
 		Device:        dev,
 		QueueCap:      queueCap,
-		QueueBuckets:  3, // coarse buckets: smaller table, same policy
 		LatencyWeight: latencyW,
-		Alpha:         qlearn.Constant{C: 0.1},
-		Explore:       qlearn.EpsGreedy{Eps: 0.04},
-		Stream:        rng.New(5),
-	})
-	if err != nil {
-		log.Fatal(err)
+		Slots:         *slots,
+		Workload: func() workload.Arrivals {
+			arr, err := workload.NewOnOff(0.6, 40, 2000)
+			if err != nil {
+				panic(err)
+			}
+			return arr
+		},
 	}
 
-	sim, err := slotsim.New(slotsim.Config{
-		Device:        dev,
-		Arrivals:      arr,
-		QueueCap:      queueCap,
-		Policy:        manager,
-		Stream:        rng.New(6),
-		LatencyWeight: latencyW,
-	})
-	if err != nil {
-		log.Fatal(err)
+	var mgr *core.Manager
+	qdpm := experiment.PolicyFactory{
+		Name: "q-dpm",
+		New: func(stream *rng.Stream) (slotsim.Policy, error) {
+			m, err := core.New(core.Config{
+				Device:        dev,
+				QueueCap:      queueCap,
+				QueueBuckets:  3, // coarse buckets: smaller table, same policy
+				LatencyWeight: latencyW,
+				Alpha:         qlearn.Constant{C: 0.1},
+				Explore:       qlearn.EpsGreedy{Eps: 0.04},
+				Stream:        stream,
+			})
+			mgr = m
+			return m, err
+		},
 	}
 
+	// The per-slot timing is a wall-clock measurement, so the Q-DPM run
+	// gets the machine to itself; the baseline runs afterwards (same
+	// rule as Table R1 — concurrent simulation work would corrupt the
+	// nanoseconds-per-slot figure).
 	start := time.Now()
-	m, err := sim.Run(slots, nil)
+	m, err := experiment.RunOne(sc, qdpm, *seed, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
-
-	alwaysOn, err := policy.NewAlwaysOn(dev)
-	if err != nil {
-		log.Fatal(err)
-	}
-	simAO, err := slotsim.New(slotsim.Config{
-		Device: dev, Arrivals: arr.Clone(), QueueCap: queueCap,
-		Policy: alwaysOn, Stream: rng.New(6), LatencyWeight: latencyW,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	mAO, err := simAO.Run(slots, nil)
+	mAO, err := experiment.RunOne(sc, experiment.AlwaysOnFactory(dev), *seed, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,14 +97,14 @@ func main() {
 
 	fmt.Println("sensor-node radio under Q-DPM:")
 	fmt.Printf("  table size        %d bytes (%d states × %d actions)\n",
-		manager.TableBytes(), manager.NumStates(), dev.PSM.NumStates())
+		mgr.TableBytes(), mgr.NumStates(), dev.PSM.NumStates())
 	fmt.Printf("  per-slot work     %.0f ns on this host (argmax + one update)\n",
-		float64(elapsed.Nanoseconds())/float64(slots))
+		float64(elapsed.Nanoseconds())/float64(*slots))
 	fmt.Printf("  avg radio power   %.3f mW (always-on %.3f mW)\n",
 		1000*m.AvgPowerW(slotSeconds), 1000*mAO.AvgPowerW(slotSeconds))
 	fmt.Printf("  energy reduction  %.1f%%\n", 100*(1-m.EnergyJ/mAO.EnergyJ))
 	fmt.Printf("  event latency     %.1f ms mean\n", 1000*m.MeanWaitSlots()*slotSeconds)
 	fmt.Printf("  radio budget life %.0f days vs %.0f days always-on\n",
-		batteryJ/m.EnergyJ*float64(slots)*slotSeconds/86400,
-		batteryJ/mAO.EnergyJ*float64(slots)*slotSeconds/86400)
+		batteryJ/m.EnergyJ*float64(*slots)*slotSeconds/86400,
+		batteryJ/mAO.EnergyJ*float64(*slots)*slotSeconds/86400)
 }

@@ -4,14 +4,19 @@
 // (estimator + change detector + LP re-optimization).
 //
 //	go run ./examples/nonstationary
+//	go run ./examples/nonstationary -parallel 4 -seed 301
 //
 // Watch the windowed energy-reduction chart: at each vertical bar the rate
 // changes; Q-DPM's dip is short because every slot is an adaptation step,
 // while the model-based pipeline must first detect the change, re-estimate,
-// and re-solve.
+// and re-solve. The figure's policy × seed replicas fan out across the
+// experiment engine's worker pool; the recovery numbers reuse the
+// figure's series, so nothing simulates twice.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -20,15 +25,24 @@ import (
 )
 
 func main() {
+	var (
+		segment  = flag.Int64("segment", 40000, "slots per stationary segment")
+		parallel = flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+		seed     = flag.Uint64("seed", 301, "rng seed")
+	)
+	flag.Parse()
+
+	ctx := context.Background()
+	par := experiment.Parallel{Workers: *parallel}
 	cfg := experiment.Fig2Config{
 		Rates:                []float64{0.02, 0.30, 0.08, 0.25},
-		SegmentSlots:         40000,
+		SegmentSlots:         *segment,
 		Window:               3000,
 		Stride:               1000,
-		Seeds:                []uint64{301},
+		Seeds:                []uint64{*seed},
 		OptimizeLatencySlots: 2000,
 	}
-	fig, err := experiment.Fig2(cfg)
+	fig, err := experiment.Fig2Ctx(ctx, cfg, par)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,27 +50,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Quantify the recoveries.
-	sc, switches, err := experiment.Fig2Scenario(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	swF := make([]float64, len(switches))
-	segEnd := make([]float64, len(switches))
-	for i, sw := range switches {
-		swF[i] = float64(sw)
+	// Quantify the recoveries from the figure's own series — with one
+	// seed the figure's per-policy means ARE the replica series, so no
+	// re-simulation is needed.
+	swF := make([]float64, len(fig.VLines))
+	segEnd := make([]float64, len(fig.VLines))
+	for i, sw := range fig.VLines {
+		swF[i] = sw
 		segEnd[i] = float64(cfg.SegmentSlots) * float64(i+2)
 	}
 	fmt.Println("\nrecovery after each switch (slots until the series settles):")
-	for _, pf := range []experiment.PolicyFactory{
-		experiment.QDPMTrackingFactory(sc.Device),
-		experiment.AdaptiveLPFactory(sc.Device, cfg.Rates[0], cfg.OptimizeLatencySlots),
-	} {
-		series, err := experiment.WindowedEnergyReductionSeries(sc, pf, cfg.Seeds[0], cfg.Window, cfg.Stride)
-		if err != nil {
-			log.Fatal(err)
+	for _, series := range fig.Series {
+		if series.Name == "timeout" {
+			continue // fixed timeout never adapts; recovery is not meaningful
 		}
 		rec := experiment.RecoverySlots(series, swF, segEnd, 0.05)
-		fmt.Printf("  %-12s %v\n", pf.Name, rec)
+		fmt.Printf("  %-12s %v\n", series.Name, rec)
 	}
 }

@@ -2,94 +2,95 @@
 // learned behaviour against never powering down.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -replicas 8 -parallel 4 -seed 42
 //
 // This is the smallest end-to-end use of the library: build a device,
-// pick a workload, attach the learning power manager, simulate, read the
-// metrics.
+// pick a workload, describe the scenario, and let the experiment engine
+// run pooled replicas of each policy. With -replicas 1 (the default) it
+// is a single deterministic run; more replicas add 95% confidence
+// intervals, fanned across -parallel workers.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
 	"repro/internal/core"
-	"repro/internal/device"
-	"repro/internal/policy"
+	"repro/internal/engine"
+	"repro/internal/experiment"
 	"repro/internal/rng"
 	"repro/internal/slotsim"
 	"repro/internal/workload"
 )
 
 func main() {
+	var (
+		slots    = flag.Int64("slots", 200000, "slots per replica (~28 simulated hours)")
+		replicas = flag.Int("replicas", 1, "independent replicas to pool")
+		parallel = flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+		seed     = flag.Uint64("seed", 42, "base seed (replica seeds derive from it)")
+	)
+	flag.Parse()
+
 	// 1. A power-managed device: active/idle/sleep with a 3-slot, 2.5 J
 	//    wakeup penalty, discretized to 0.5 s slots.
-	dev, err := device.Synthetic3().Slot(0.5)
+	dev, err := experiment.CanonDevice()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 2. A workload: one request with probability 0.1 per slot.
-	arrivals, err := workload.NewBernoulli(0.1)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 3. The Q-DPM power manager. Defaults: Watkins Q-learning, ε-greedy
-	//    exploration, constant learning rate.
-	manager, err := core.New(core.Config{
+	// 2. A scenario: the device under one request with probability 0.1
+	//    per slot, backlog weighed at 0.3 J per request-slot.
+	sc := experiment.Scenario{
+		Name:          "quickstart",
 		Device:        dev,
 		QueueCap:      8,
-		LatencyWeight: 0.3, // joules per queued request per slot
-		Stream:        rng.New(42),
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 4. Simulate 200k slots (~28 simulated hours).
-	sim, err := slotsim.New(slotsim.Config{
-		Device:        dev,
-		Arrivals:      arrivals,
-		QueueCap:      8,
-		Policy:        manager,
-		Stream:        rng.New(7),
 		LatencyWeight: 0.3,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	m, err := sim.Run(200000, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 5. Baseline: the same system that never powers down.
-	alwaysOn, err := policy.NewAlwaysOn(dev)
-	if err != nil {
-		log.Fatal(err)
-	}
-	simAO, err := slotsim.New(slotsim.Config{
-		Device:        dev,
-		Arrivals:      arrivals.Clone(),
-		QueueCap:      8,
-		Policy:        alwaysOn,
-		Stream:        rng.New(7),
-		LatencyWeight: 0.3,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	mAO, err := simAO.Run(200000, nil)
-	if err != nil {
-		log.Fatal(err)
+		Slots:         *slots,
+		Workload: func() workload.Arrivals {
+			b, err := workload.NewBernoulli(0.1)
+			if err != nil {
+				panic(err)
+			}
+			return b
+		},
 	}
 
-	fmt.Printf("Q-DPM:     %.4f W average, %.3f-slot mean wait\n",
-		m.AvgPowerW(dev.SlotDuration), m.MeanWaitSlots())
-	fmt.Printf("always-on: %.4f W average, %.3f-slot mean wait\n",
-		mAO.AvgPowerW(dev.SlotDuration), mAO.MeanWaitSlots())
+	// 3. Two policies: the Q-DPM power manager (defaults: Watkins
+	//    Q-learning, ε-greedy exploration) and the always-on baseline.
+	qdpm := experiment.PolicyFactory{
+		Name: "q-dpm",
+		New: func(stream *rng.Stream) (slotsim.Policy, error) {
+			return core.New(core.Config{
+				Device:        dev,
+				QueueCap:      8,
+				LatencyWeight: 0.3,
+				Stream:        stream,
+			})
+		},
+	}
+	alwaysOn := experiment.AlwaysOnFactory(dev)
+
+	// 4. Replicated runs on the worker pool. Seeds derive from the base
+	//    seed, so the output is reproducible for any -parallel value.
+	seeds := engine.DeriveSeeds(*seed, *replicas)
+	par := experiment.Parallel{Workers: *parallel}
+	var sums []*experiment.Summary
+	for _, pf := range []experiment.PolicyFactory{qdpm, alwaysOn} {
+		sum, err := experiment.RunReplicatedCtx(context.Background(), sc, pf, seeds, par)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sums = append(sums, sum)
+	}
+
+	// 5. Read the pooled metrics.
+	for _, sum := range sums {
+		fmt.Printf("%-10s %.4f ± %.4f W average, %.3f-slot mean wait\n",
+			sum.Policy+":", sum.AvgPowerW.Mean(), sum.AvgPowerW.CI95(), sum.MeanWaitSlots.Mean())
+	}
 	fmt.Printf("energy reduction: %.1f%%\n",
-		100*(1-m.EnergyJ/mAO.EnergyJ))
-	fmt.Printf("Q table: %d bytes for %d states — small enough for any microcontroller\n",
-		manager.TableBytes(), manager.NumStates())
+		100*(1-sums[0].AvgPowerW.Mean()/sums[1].AvgPowerW.Mean()))
 }

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/qlearn"
+	"repro/internal/rng"
+	"repro/internal/slotsim"
+	"repro/internal/workload"
+)
+
+// TestQDPMHotPathAllocationFree pins down the hot-path guarantee: after
+// warm-up (scratch buffers sized, queue ring grown), a Q-DPM slot —
+// decision, simulation step, learning update — performs no heap
+// allocations. This is what lets the worker pool scale replica throughput
+// with cores instead of with GC pressure.
+func TestQDPMHotPathAllocationFree(t *testing.T) {
+	dev, err := device.Synthetic3().Slot(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := workload.NewBernoulli(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := New(Config{
+		Device:        dev,
+		QueueCap:      8,
+		LatencyWeight: 0.3,
+		Explore:       qlearn.EpsGreedy{Eps: 0.3, MinEps: 0.002, DecayTau: 30000},
+		Stream:        rng.New(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := slotsim.New(slotsim.Config{
+		Device:        dev,
+		Arrivals:      arr,
+		QueueCap:      8,
+		Policy:        mgr,
+		Stream:        rng.New(2),
+		LatencyWeight: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(5000, nil); err != nil { // warm up
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := sim.Run(1000, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0.5 {
+		t.Errorf("Q-DPM run loop allocates: %.1f allocs per 1000 slots, want 0", avg)
+	}
+}

@@ -124,14 +124,22 @@ type Manager struct {
 	rewardNorm float64
 	maxEnergy  float64
 
-	// Pending semi-Markov experience between decision points.
-	pending *pendingExp
+	// Pending semi-Markov experience between decision points. Held by
+	// value (with a presence flag) so the steady state — one experience
+	// per slot — allocates nothing.
+	pending    pendingExp
+	hasPending bool
 	// SARSA: completed experience awaiting the next action choice.
-	sarsaReady *completedExp
+	sarsaReady completedExp
+	hasSarsa   bool
 
 	// Fuzzy encodings of the pending decision state.
 	fuzzyStates  []int
 	fuzzyWeights []float64
+	// qScratch holds blended Q values during a fuzzy decision; unlike the
+	// fuzzy encodings it never outlives the Decide call, so it is safe to
+	// reuse and keeps the per-slot path allocation-free.
+	qScratch []float64
 
 	// QoS state.
 	qosLambda   float64
@@ -327,7 +335,10 @@ func (m *Manager) Decide(obs slotsim.Observation) device.StateID {
 	var action int
 	if m.cfg.Fuzzy {
 		states, weights := m.encodeFuzzy(obs.Phase, obs.Queue, obs.IdleSlots)
-		qvals := make([]float64, len(legal))
+		if cap(m.qScratch) < len(legal) {
+			m.qScratch = make([]float64, len(legal))
+		}
+		qvals := m.qScratch[:len(legal)]
 		for i, a := range legal {
 			qvals[i] = m.blendedQ(states, weights, a)
 		}
@@ -337,11 +348,11 @@ func (m *Manager) Decide(obs slotsim.Observation) device.StateID {
 	} else {
 		s := m.encode(obs.Phase, obs.Queue, obs.IdleSlots)
 		// Complete a pending SARSA update with the action about to be taken.
-		if m.sarsaReady != nil {
+		if m.hasSarsa {
 			a2Probe, _ := m.agent.SelectAction(s, legal, m.cfg.Stream)
 			m.agent.UpdateSARSA(m.sarsaReady.state, int(m.sarsaReady.action),
 				m.sarsaReady.reward, s, a2Probe, m.sarsaReady.elapsed)
-			m.sarsaReady = nil
+			m.hasSarsa = false
 			action = a2Probe
 		} else {
 			action, _ = m.agent.SelectAction(s, legal, m.cfg.Stream)
@@ -377,8 +388,8 @@ func (m *Manager) Observe(fb slotsim.Feedback) {
 	}
 
 	// Start or extend the pending semi-Markov experience.
-	if m.pending == nil {
-		p := &pendingExp{
+	if !m.hasPending {
+		m.pending = pendingExp{
 			action: fb.Action,
 			reward: reward,
 			gpow:   m.cfg.Gamma,
@@ -386,11 +397,11 @@ func (m *Manager) Observe(fb slotsim.Feedback) {
 			elapsed: 1,
 		}
 		if m.cfg.Fuzzy {
-			p.states, p.weights = m.fuzzyStates, m.fuzzyWeights
+			m.pending.states, m.pending.weights = m.fuzzyStates, m.fuzzyWeights
 		} else {
-			p.state = m.encode(fb.Prev.Phase, fb.Prev.Queue, fb.Prev.IdleSlots)
+			m.pending.state = m.encode(fb.Prev.Phase, fb.Prev.Queue, fb.Prev.IdleSlots)
 		}
-		m.pending = p
+		m.hasPending = true
 	} else {
 		m.pending.reward += m.pending.gpow * reward
 		m.pending.gpow *= m.cfg.Gamma
@@ -403,7 +414,7 @@ func (m *Manager) Observe(fb slotsim.Feedback) {
 
 	// Decision point reached: apply the update.
 	p := m.pending
-	m.pending = nil
+	m.hasPending = false
 	nextLegal := m.legal[fb.Next.Phase]
 
 	switch {
@@ -424,8 +435,9 @@ func (m *Manager) Observe(fb slotsim.Feedback) {
 				m.agent.Q(s, int(p.action))+m.fuzzyAlpha(s, int(p.action))*p.weights[i]*delta)
 		}
 	case m.cfg.Rule == qlearn.SARSA:
-		m.sarsaReady = &completedExp{pendingExp: *p,
+		m.sarsaReady = completedExp{pendingExp: p,
 			nextState: m.encode(fb.Next.Phase, fb.Next.Queue, fb.Next.IdleSlots)}
+		m.hasSarsa = true
 	default:
 		next := m.encode(fb.Next.Phase, fb.Next.Queue, fb.Next.IdleSlots)
 		m.agent.Update(p.state, int(p.action), p.reward, next, nextLegal, p.elapsed, m.cfg.Stream)

@@ -1,0 +1,267 @@
+// Package dist provides the parametric probability distributions used by
+// the workload generators and the trace synthesizer: continuous
+// interarrival laws (exponential, Pareto, Weibull, Erlang, two-phase
+// hyperexponential, uniform) and the discrete Poisson counting law.
+//
+// All sampling draws exclusively from an rng.Stream so every consumer
+// inherits the repository-wide determinism guarantee: a distribution value
+// plus a stream state fully determines the sample sequence.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Continuous is a continuous distribution over the positive reals, used
+// for interarrival times measured in slots.
+type Continuous interface {
+	// Sample draws one variate.
+	Sample(s *rng.Stream) float64
+	// Mean returns the expectation (+Inf when it does not exist, e.g.
+	// Pareto with alpha <= 1).
+	Mean() float64
+	// String describes the distribution and its parameters.
+	String() string
+}
+
+// ---------------------------------------------------------------------------
+// Exponential
+
+// Exponential is the memoryless law with rate Rate (mean 1/Rate).
+type Exponential struct {
+	Rate float64
+}
+
+// NewExponential validates rate > 0.
+func NewExponential(rate float64) (Exponential, error) {
+	if !(rate > 0) || math.IsInf(rate, 1) {
+		return Exponential{}, fmt.Errorf("dist: exponential rate %v must be positive and finite", rate)
+	}
+	return Exponential{Rate: rate}, nil
+}
+
+// Sample draws via inverse CDF.
+func (e Exponential) Sample(s *rng.Stream) float64 { return s.ExpFloat64() / e.Rate }
+
+// Mean returns 1/Rate.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+func (e Exponential) String() string { return fmt.Sprintf("Exp(rate=%g)", e.Rate) }
+
+// ---------------------------------------------------------------------------
+// Pareto
+
+// Pareto is the heavy-tailed law with scale Xm (minimum value) and shape
+// Alpha. The mean is infinite for Alpha <= 1.
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+}
+
+// NewPareto validates xm > 0 and alpha > 0.
+func NewPareto(xm, alpha float64) (Pareto, error) {
+	if !(xm > 0) {
+		return Pareto{}, fmt.Errorf("dist: pareto scale %v must be positive", xm)
+	}
+	if !(alpha > 0) {
+		return Pareto{}, fmt.Errorf("dist: pareto shape %v must be positive", alpha)
+	}
+	return Pareto{Xm: xm, Alpha: alpha}, nil
+}
+
+// Sample draws via inverse CDF.
+func (p Pareto) Sample(s *rng.Stream) float64 {
+	return p.Xm / math.Pow(s.Float64Open(), 1/p.Alpha)
+}
+
+// Mean returns alpha·xm/(alpha-1), or +Inf when alpha <= 1.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+func (p Pareto) String() string { return fmt.Sprintf("Pareto(xm=%g, α=%g)", p.Xm, p.Alpha) }
+
+// ---------------------------------------------------------------------------
+// Weibull
+
+// Weibull has scale Lambda and shape K; K < 1 gives a heavier-than-
+// exponential tail.
+type Weibull struct {
+	Lambda float64
+	K      float64
+}
+
+// NewWeibull validates lambda > 0 and k > 0.
+func NewWeibull(lambda, k float64) (Weibull, error) {
+	if !(lambda > 0) {
+		return Weibull{}, fmt.Errorf("dist: weibull scale %v must be positive", lambda)
+	}
+	if !(k > 0) {
+		return Weibull{}, fmt.Errorf("dist: weibull shape %v must be positive", k)
+	}
+	return Weibull{Lambda: lambda, K: k}, nil
+}
+
+// Sample draws via inverse CDF.
+func (w Weibull) Sample(s *rng.Stream) float64 {
+	return w.Lambda * math.Pow(s.ExpFloat64(), 1/w.K)
+}
+
+// Mean returns lambda·Γ(1 + 1/k).
+func (w Weibull) Mean() float64 { return w.Lambda * math.Gamma(1+1/w.K) }
+
+func (w Weibull) String() string { return fmt.Sprintf("Weibull(λ=%g, k=%g)", w.Lambda, w.K) }
+
+// ---------------------------------------------------------------------------
+// Erlang
+
+// Erlang is the sum of K independent Exponential(Rate) phases.
+type Erlang struct {
+	K    int
+	Rate float64
+}
+
+// NewErlang validates k >= 1 and rate > 0.
+func NewErlang(k int, rate float64) (Erlang, error) {
+	if k < 1 {
+		return Erlang{}, fmt.Errorf("dist: erlang phase count %d must be >= 1", k)
+	}
+	if !(rate > 0) {
+		return Erlang{}, fmt.Errorf("dist: erlang rate %v must be positive", rate)
+	}
+	return Erlang{K: k, Rate: rate}, nil
+}
+
+// Sample sums K exponential phases.
+func (e Erlang) Sample(s *rng.Stream) float64 {
+	sum := 0.0
+	for i := 0; i < e.K; i++ {
+		sum += s.ExpFloat64()
+	}
+	return sum / e.Rate
+}
+
+// Mean returns K/Rate.
+func (e Erlang) Mean() float64 { return float64(e.K) / e.Rate }
+
+func (e Erlang) String() string { return fmt.Sprintf("Erlang(k=%d, rate=%g)", e.K, e.Rate) }
+
+// ---------------------------------------------------------------------------
+// HyperExp
+
+// HyperExp is the two-phase hyperexponential: with probability P the draw
+// is Exponential(Rate1), otherwise Exponential(Rate2). CV > 1 whenever the
+// rates differ — the standard model for high-variance interarrivals.
+type HyperExp struct {
+	P     float64
+	Rate1 float64
+	Rate2 float64
+}
+
+// NewHyperExp validates p in [0,1] and both rates positive.
+func NewHyperExp(p, rate1, rate2 float64) (HyperExp, error) {
+	if !(p >= 0 && p <= 1) {
+		return HyperExp{}, fmt.Errorf("dist: hyperexp mix %v out of [0,1]", p)
+	}
+	if !(rate1 > 0) || !(rate2 > 0) {
+		return HyperExp{}, fmt.Errorf("dist: hyperexp rates (%v, %v) must be positive", rate1, rate2)
+	}
+	return HyperExp{P: p, Rate1: rate1, Rate2: rate2}, nil
+}
+
+// Sample picks a phase then draws exponentially.
+func (h HyperExp) Sample(s *rng.Stream) float64 {
+	rate := h.Rate2
+	if s.Float64() < h.P {
+		rate = h.Rate1
+	}
+	return s.ExpFloat64() / rate
+}
+
+// Mean returns p/rate1 + (1-p)/rate2.
+func (h HyperExp) Mean() float64 { return h.P/h.Rate1 + (1-h.P)/h.Rate2 }
+
+func (h HyperExp) String() string {
+	return fmt.Sprintf("HyperExp(p=%g, rates=%g/%g)", h.P, h.Rate1, h.Rate2)
+}
+
+// ---------------------------------------------------------------------------
+// Uniform
+
+// Uniform is the continuous uniform law on [A, B).
+type Uniform struct {
+	A float64
+	B float64
+}
+
+// NewUniform validates a < b and a >= 0 (interarrivals are nonnegative).
+func NewUniform(a, b float64) (Uniform, error) {
+	if !(a < b) {
+		return Uniform{}, fmt.Errorf("dist: uniform requires a < b, got [%v,%v)", a, b)
+	}
+	if a < 0 {
+		return Uniform{}, fmt.Errorf("dist: uniform lower bound %v must be >= 0", a)
+	}
+	return Uniform{A: a, B: b}, nil
+}
+
+// Sample draws uniformly on [A, B).
+func (u Uniform) Sample(s *rng.Stream) float64 { return u.A + (u.B-u.A)*s.Float64() }
+
+// Mean returns (A+B)/2.
+func (u Uniform) Mean() float64 { return (u.A + u.B) / 2 }
+
+func (u Uniform) String() string { return fmt.Sprintf("Uniform[%g,%g)", u.A, u.B) }
+
+// ---------------------------------------------------------------------------
+// Poisson
+
+// Poisson is the discrete counting law with mean Lambda per slot.
+type Poisson struct {
+	Lambda float64
+}
+
+// NewPoisson validates lambda >= 0 and finite.
+func NewPoisson(lambda float64) (Poisson, error) {
+	if lambda < 0 || math.IsNaN(lambda) || math.IsInf(lambda, 1) {
+		return Poisson{}, fmt.Errorf("dist: poisson lambda %v must be finite and >= 0", lambda)
+	}
+	return Poisson{Lambda: lambda}, nil
+}
+
+// SampleInt draws one count. Small means use Knuth's product method; large
+// means (> 30) sum an exact Poisson split so the loop stays short without
+// losing exactness: Poisson(λ) = Poisson(λ/2) + Poisson(λ/2).
+func (p Poisson) SampleInt(s *rng.Stream) int {
+	return samplePoisson(p.Lambda, s)
+}
+
+func samplePoisson(lambda float64, s *rng.Stream) int {
+	if lambda == 0 {
+		return 0
+	}
+	if lambda > 30 {
+		half := lambda / 2
+		return samplePoisson(half, s) + samplePoisson(half, s)
+	}
+	// Knuth: count multiplications until the product drops below e^-λ.
+	limit := math.Exp(-lambda)
+	n := 0
+	prod := s.Float64Open()
+	for prod > limit {
+		n++
+		prod *= s.Float64Open()
+	}
+	return n
+}
+
+// Mean returns Lambda.
+func (p Poisson) Mean() float64 { return p.Lambda }
+
+func (p Poisson) String() string { return fmt.Sprintf("Poisson(λ=%g)", p.Lambda) }

@@ -1,0 +1,192 @@
+// Package engine is the parallel experiment execution subsystem: a
+// worker-pool job runner that fans independent simulation replicas
+// (Scenario × PolicyFactory × seed in the experiment layer) across
+// GOMAXPROCS workers.
+//
+// Design constraints, in priority order:
+//
+//  1. Determinism. Results are collected into an index-ordered slice and
+//     reduced by the caller in that order, so a pooled run is bit-identical
+//     to a serial run regardless of worker count or scheduling. The engine
+//     never injects randomness; seed derivation (DeriveSeeds) is a pure
+//     function of the base seed.
+//  2. Prompt cancellation. Cancelling the context stops job dispatch
+//     immediately and running jobs cooperatively (long replicas poll the
+//     context between chunks in the experiment layer); Map returns the
+//     context error without leaking goroutines.
+//  3. Failure isolation. A panicking job is captured as a *PanicError
+//     carrying the job index and stack; the first failure cancels the
+//     remaining work and is returned to the caller.
+//
+// The engine is deliberately below the experiment layer in the dependency
+// graph (it knows nothing about scenarios or policies), so every future
+// workload — figure drivers, table sweeps, ablation grids, trace
+// pipelines — plugs into the same pool.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Pool describes a worker pool. The zero value (and a nil *Pool) is valid
+// and uses GOMAXPROCS workers with no progress reporting.
+type Pool struct {
+	// Workers is the number of concurrent workers; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Progress, when non-nil, observes completion: it is called after each
+	// job finishes with the number done so far and the total. Calls are
+	// serialized by the engine, so the callback needs no locking of its
+	// own, but it must not block for long — it runs on worker goroutines.
+	Progress func(done, total int)
+}
+
+// workers resolves the effective worker count for n jobs.
+func (p *Pool) workers(n int) int {
+	w := 0
+	if p != nil {
+		w = p.Workers
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// PanicError reports a panic captured inside a pool job.
+type PanicError struct {
+	// Index is the job index that panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at the point of the panic.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: job %d panicked: %v", e.Index, e.Value)
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on p's worker pool and returns
+// the results in index order — results[i] is fn's value for job i, so any
+// order-sensitive reduction over the output is independent of worker count
+// and scheduling.
+//
+// The first job error (or captured panic) cancels the remaining jobs and
+// is returned alongside the partial results: slots whose jobs never ran or
+// failed hold the zero value. If the parent context is cancelled, Map
+// returns ctx's error. Map only returns once every started job has
+// finished, so no worker goroutines outlive the call.
+func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("engine: negative job count %d", n)
+	}
+	results := make([]T, n)
+	if n == 0 {
+		return results, ctx.Err()
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		done     int
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	finish := func() {
+		var cb func(done, total int)
+		mu.Lock()
+		done++
+		d := done
+		if p != nil {
+			cb = p.Progress
+		}
+		if cb != nil {
+			cb(d, n) // under mu: calls are serialized and ordered
+		}
+		mu.Unlock()
+	}
+
+	runJob := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				fail(&PanicError{Index: i, Value: v, Stack: debug.Stack()})
+			}
+		}()
+		v, err := fn(ctx, i)
+		if err != nil {
+			fail(fmt.Errorf("engine: job %d: %w", i, err))
+			return
+		}
+		results[i] = v
+		finish()
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := p.workers(n); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				runJob(i)
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return results, err
+	}
+	return results, ctx.Err()
+}
+
+// DeriveSeeds expands a base seed into n deterministic, statistically
+// independent replica seeds. The expansion is a pure function of (base, n
+// prefix): DeriveSeeds(b, m)[:k] == DeriveSeeds(b, k) for k <= m, so
+// growing a replication never perturbs existing replicas.
+func DeriveSeeds(base uint64, n int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	src := rng.New(base)
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = src.Uint64()
+	}
+	return seeds
+}

@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		got, err := Map(context.Background(), &Pool{Workers: workers}, 100,
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	got, err := Map(context.Background(), nil, 0,
+		func(context.Context, int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapNegativeJobs(t *testing.T) {
+	if _, err := Map(context.Background(), nil, -1,
+		func(context.Context, int) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("negative job count accepted")
+	}
+}
+
+func TestMapNilPool(t *testing.T) {
+	got, err := Map(context.Background(), nil, 8,
+		func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 || got[7] != 7 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMapFirstErrorCancelsRest(t *testing.T) {
+	var started atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), &Pool{Workers: 2}, 1000,
+		func(ctx context.Context, i int) (int, error) {
+			started.Add(1)
+			if i == 3 {
+				return 0, boom
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "job 3") {
+		t.Errorf("error %q does not name the failing job", err)
+	}
+	// Cancellation must stop dispatch well before all 1000 jobs run.
+	if n := started.Load(); n == 1000 {
+		t.Errorf("all %d jobs ran despite early failure", n)
+	}
+}
+
+func TestMapPanicCaptured(t *testing.T) {
+	_, err := Map(context.Background(), &Pool{Workers: 4}, 10,
+		func(_ context.Context, i int) (int, error) {
+			if i == 5 {
+				panic("kaput")
+			}
+			return i, nil
+		})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PanicError", err, err)
+	}
+	if pe.Index != 5 || fmt.Sprint(pe.Value) != "kaput" {
+		t.Errorf("panic error %+v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic error carries no stack")
+	}
+}
+
+func TestMapContextCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := Map(ctx, nil, 50, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n > int64(runtime.GOMAXPROCS(0)) {
+		t.Errorf("%d jobs ran after pre-cancelled context", n)
+	}
+}
+
+func TestMapCancellationPromptNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Map(ctx, &Pool{Workers: 4}, 10000,
+		func(ctx context.Context, i int) (int, error) {
+			// A cooperative job: waits on the context like a chunked
+			// replica run does.
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-release:
+				return i, nil
+			}
+		})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+	close(release)
+	// All worker goroutines must be gone once Map returns.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 { // +1 for the canceller
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestMapProgressSerializedAndComplete(t *testing.T) {
+	var calls []int
+	_, err := Map(context.Background(), &Pool{
+		Workers: 4,
+		// Progress runs under the engine's mutex; appending without extra
+		// locking is the documented contract.
+		Progress: func(done, total int) {
+			if total != 64 {
+				t.Errorf("total = %d, want 64", total)
+			}
+			calls = append(calls, done)
+		},
+	}, 64, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 64 {
+		t.Fatalf("progress called %d times, want 64", len(calls))
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress sequence %v not monotone at %d", calls[:i+1], i)
+		}
+	}
+}
+
+func TestDeriveSeedsPrefixStable(t *testing.T) {
+	long := DeriveSeeds(42, 20)
+	short := DeriveSeeds(42, 5)
+	for i, s := range short {
+		if long[i] != s {
+			t.Fatalf("prefix instability at %d: %d vs %d", i, long[i], s)
+		}
+	}
+	seen := map[uint64]bool{}
+	for _, s := range long {
+		if seen[s] {
+			t.Fatalf("duplicate derived seed %d", s)
+		}
+		seen[s] = true
+	}
+	if other := DeriveSeeds(43, 5); other[0] == short[0] {
+		t.Error("different base seeds produced identical first replica seed")
+	}
+	if DeriveSeeds(1, 0) != nil {
+		t.Error("n=0 should return nil")
+	}
+}
+
+func TestPoolWorkersResolution(t *testing.T) {
+	var nilPool *Pool
+	if w := nilPool.workers(8); w != min(8, runtime.GOMAXPROCS(0)) {
+		t.Errorf("nil pool workers = %d", w)
+	}
+	if w := (&Pool{Workers: 16}).workers(4); w != 4 {
+		t.Errorf("workers not capped at job count: %d", w)
+	}
+	if w := (&Pool{Workers: 3}).workers(100); w != 3 {
+		t.Errorf("explicit workers ignored: %d", w)
+	}
+}

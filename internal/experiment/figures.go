@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/stats"
@@ -51,6 +52,14 @@ func DefaultFig1() Fig1Config {
 // greedy baseline) under stationary input. The Q-DPM curve must approach
 // the optimal horizontal line.
 func Fig1(cfg Fig1Config) (*Figure, error) {
+	return Fig1Ctx(context.Background(), cfg, Parallel{})
+}
+
+// Fig1Ctx is Fig1 with cancellation and pool control: the policy × seed
+// replica grid fans out across the worker pool, and each policy's seed
+// series are averaged in seed order so the figure is independent of
+// worker count.
+func Fig1Ctx(ctx context.Context, cfg Fig1Config, par Parallel) (*Figure, error) {
 	dev, err := CanonDevice()
 	if err != nil {
 		return nil, err
@@ -84,25 +93,16 @@ func Fig1(cfg Fig1Config) (*Figure, error) {
 			cfg.ArrivalP, cfg.Slots, cfg.Window, len(cfg.Seeds)),
 	}
 
-	for _, pf := range []PolicyFactory{
+	fig.Series, err = meanSeriesGrid(ctx, par, []PolicyFactory{
 		QDPMFactory(dev),
 		optFactory,
 		TimeoutFactory(dev, 20),
 		GreedyOffFactory(dev),
-	} {
-		var reps []*stats.Series
-		for _, seed := range cfg.Seeds {
-			s, err := WindowedCostSeries(sc, pf, seed, cfg.Window, cfg.Stride)
-			if err != nil {
-				return nil, err
-			}
-			reps = append(reps, s)
-		}
-		mean, err := MeanSeries(pf.Name, reps)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, mean)
+	}, cfg.Seeds, func(ctx context.Context, pf PolicyFactory, seed uint64) (*stats.Series, error) {
+		return WindowedCostSeriesCtx(ctx, sc, pf, seed, cfg.Window, cfg.Stride)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -171,6 +171,11 @@ func Fig2Scenario(cfg Fig2Config) (Scenario, []int64, error) {
 // points, for Q-DPM versus the model-based adaptive pipeline and a fixed
 // timeout. Q-DPM's post-switch dips must be shorter than adaptive-LP's.
 func Fig2(cfg Fig2Config) (*Figure, error) {
+	return Fig2Ctx(context.Background(), cfg, Parallel{})
+}
+
+// Fig2Ctx is Fig2 with cancellation and pool control.
+func Fig2Ctx(ctx context.Context, cfg Fig2Config, par Parallel) (*Figure, error) {
 	sc, switches, err := Fig2Scenario(cfg)
 	if err != nil {
 		return nil, err
@@ -188,24 +193,15 @@ func Fig2(cfg Fig2Config) (*Figure, error) {
 		fig.VLines = append(fig.VLines, float64(sp))
 	}
 
-	for _, pf := range []PolicyFactory{
+	fig.Series, err = meanSeriesGrid(ctx, par, []PolicyFactory{
 		QDPMTrackingFactory(dev),
 		AdaptiveLPFactory(dev, cfg.Rates[0], cfg.OptimizeLatencySlots),
 		TimeoutFactory(dev, 8),
-	} {
-		var reps []*stats.Series
-		for _, seed := range cfg.Seeds {
-			s, err := WindowedEnergyReductionSeries(sc, pf, seed, cfg.Window, cfg.Stride)
-			if err != nil {
-				return nil, err
-			}
-			reps = append(reps, s)
-		}
-		mean, err := MeanSeries(pf.Name, reps)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, mean)
+	}, cfg.Seeds, func(ctx context.Context, pf PolicyFactory, seed uint64) (*stats.Series, error) {
+		return WindowedEnergyReductionSeriesCtx(ctx, sc, pf, seed, cfg.Window, cfg.Stride)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }

@@ -9,6 +9,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/device"
@@ -56,20 +57,20 @@ func (sc *Scenario) Validate() error {
 	return nil
 }
 
-// RunOne executes one replica and returns the metrics. The observer, when
-// non-nil, sees every slot record.
-func RunOne(sc Scenario, pf PolicyFactory, seed uint64, observer func(slotsim.SlotRecord)) (slotsim.Metrics, error) {
-	if err := sc.Validate(); err != nil {
-		return slotsim.Metrics{}, err
-	}
+// newReplicaSim builds one replica's simulator with the deterministic
+// per-replica stream layout: the seed roots a stream whose first split
+// feeds the policy and second split feeds the simulator, so a replica's
+// randomness is a pure function of (scenario, factory, seed) and never of
+// which worker runs it.
+func newReplicaSim(sc Scenario, pf PolicyFactory, seed uint64) (*slotsim.Sim, error) {
 	root := rng.New(seed)
 	polStream := root.Split()
 	simStream := root.Split()
 	pol, err := pf.New(polStream)
 	if err != nil {
-		return slotsim.Metrics{}, fmt.Errorf("experiment: building policy %s: %w", pf.Name, err)
+		return nil, fmt.Errorf("experiment: building policy %s: %w", pf.Name, err)
 	}
-	sim, err := slotsim.New(slotsim.Config{
+	return slotsim.New(slotsim.Config{
 		Device:        sc.Device,
 		Arrivals:      sc.Workload(),
 		QueueCap:      sc.QueueCap,
@@ -77,10 +78,12 @@ func RunOne(sc Scenario, pf PolicyFactory, seed uint64, observer func(slotsim.Sl
 		Stream:        simStream,
 		LatencyWeight: sc.LatencyWeight,
 	})
-	if err != nil {
-		return slotsim.Metrics{}, err
-	}
-	return sim.Run(sc.Slots, observer)
+}
+
+// RunOne executes one replica and returns the metrics. The observer, when
+// non-nil, sees every slot record.
+func RunOne(sc Scenario, pf PolicyFactory, seed uint64, observer func(slotsim.SlotRecord)) (slotsim.Metrics, error) {
+	return RunOneCtx(context.Background(), sc, pf, seed, observer)
 }
 
 // Summary pools replica metrics for one policy on one scenario.
@@ -99,31 +102,52 @@ type Summary struct {
 	EnergyReduction stats.Running
 }
 
-// RunReplicated executes one replica per seed and pools the metrics.
+// errNoSeeds is the shared empty-replication error.
+var errNoSeeds = fmt.Errorf("experiment: no seeds")
+
+// addReplica folds one replica's metrics into the summary.
+func (s *Summary) addReplica(m *slotsim.Metrics, slotDuration, maxPower float64) {
+	s.Replicas++
+	p := m.AvgPowerW(slotDuration)
+	s.AvgPowerW.Add(p)
+	s.AvgCost.Add(m.AvgCost())
+	s.MeanWaitSlots.Add(m.MeanWaitSlots())
+	s.LossRate.Add(m.LossRate())
+	s.EnergyReduction.Add(1 - p/maxPower)
+}
+
+// Merge combines another summary (same policy and scenario) into s. The
+// per-metric merge is the parallel Welford combination, which for the
+// single-replica parts produced by the worker pool is bit-identical to
+// adding the replicas serially in the same order.
+func (s *Summary) Merge(o *Summary) {
+	if s.Policy == "" {
+		s.Policy, s.Scenario = o.Policy, o.Scenario
+	}
+	s.Replicas += o.Replicas
+	s.AvgPowerW.Merge(&o.AvgPowerW)
+	s.AvgCost.Merge(&o.AvgCost)
+	s.MeanWaitSlots.Merge(&o.MeanWaitSlots)
+	s.LossRate.Merge(&o.LossRate)
+	s.EnergyReduction.Merge(&o.EnergyReduction)
+}
+
+// RunReplicated executes one replica per seed and pools the metrics. The
+// replicas run on a GOMAXPROCS worker pool; use RunReplicatedCtx to
+// control the pool or cancel mid-run.
 func RunReplicated(sc Scenario, pf PolicyFactory, seeds []uint64) (*Summary, error) {
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("experiment: no seeds")
-	}
-	sum := &Summary{Policy: pf.Name, Scenario: sc.Name, Replicas: len(seeds)}
-	maxPower := sc.Device.MaxPowerEnergy() / sc.Device.SlotDuration
-	for _, seed := range seeds {
-		m, err := RunOne(sc, pf, seed, nil)
-		if err != nil {
-			return nil, err
-		}
-		p := m.AvgPowerW(sc.Device.SlotDuration)
-		sum.AvgPowerW.Add(p)
-		sum.AvgCost.Add(m.AvgCost())
-		sum.MeanWaitSlots.Add(m.MeanWaitSlots())
-		sum.LossRate.Add(m.LossRate())
-		sum.EnergyReduction.Add(1 - p/maxPower)
-	}
-	return sum, nil
+	return RunReplicatedCtx(context.Background(), sc, pf, seeds, Parallel{})
 }
 
 // WindowedCostSeries runs one replica and returns the sliding-window
 // average per-slot cost sampled every stride slots — the Fig. 1 y-axis.
 func WindowedCostSeries(sc Scenario, pf PolicyFactory, seed uint64, window, stride int) (*stats.Series, error) {
+	return WindowedCostSeriesCtx(context.Background(), sc, pf, seed, window, stride)
+}
+
+// WindowedCostSeriesCtx is WindowedCostSeries with cooperative
+// cancellation.
+func WindowedCostSeriesCtx(ctx context.Context, sc Scenario, pf PolicyFactory, seed uint64, window, stride int) (*stats.Series, error) {
 	if window <= 0 || stride <= 0 {
 		return nil, fmt.Errorf("experiment: window %d and stride %d must be positive", window, stride)
 	}
@@ -132,7 +156,7 @@ func WindowedCostSeries(sc Scenario, pf PolicyFactory, seed uint64, window, stri
 		return nil, err
 	}
 	series := &stats.Series{Name: pf.Name}
-	_, err = RunOne(sc, pf, seed, func(r slotsim.SlotRecord) {
+	_, err = RunOneCtx(ctx, sc, pf, seed, func(r slotsim.SlotRecord) {
 		win.Add(r.Cost)
 		if r.Slot%int64(stride) == int64(stride)-1 && win.Full() {
 			series.Append(float64(r.Slot+1), win.Mean())
@@ -147,25 +171,38 @@ func WindowedCostSeries(sc Scenario, pf PolicyFactory, seed uint64, window, stri
 // WindowedEnergyReductionSeries runs one replica and returns the sliding-
 // window energy reduction relative to always-on — the Fig. 2 y-axis.
 func WindowedEnergyReductionSeries(sc Scenario, pf PolicyFactory, seed uint64, window, stride int) (*stats.Series, error) {
+	return WindowedEnergyReductionSeriesCtx(context.Background(), sc, pf, seed, window, stride)
+}
+
+// WindowedEnergyReductionSeriesCtx is WindowedEnergyReductionSeries with
+// cooperative cancellation.
+func WindowedEnergyReductionSeriesCtx(ctx context.Context, sc Scenario, pf PolicyFactory, seed uint64, window, stride int) (*stats.Series, error) {
+	series, _, err := windowedEnergyReductionSeriesMetrics(ctx, sc, pf, seed, window, stride)
+	return series, err
+}
+
+// windowedEnergyReductionSeriesMetrics also returns the replica's metrics
+// so drivers that need both (Table R3) pay for one simulation, not two.
+func windowedEnergyReductionSeriesMetrics(ctx context.Context, sc Scenario, pf PolicyFactory, seed uint64, window, stride int) (*stats.Series, slotsim.Metrics, error) {
 	if window <= 0 || stride <= 0 {
-		return nil, fmt.Errorf("experiment: window %d and stride %d must be positive", window, stride)
+		return nil, slotsim.Metrics{}, fmt.Errorf("experiment: window %d and stride %d must be positive", window, stride)
 	}
 	win, err := stats.NewWindow(window)
 	if err != nil {
-		return nil, err
+		return nil, slotsim.Metrics{}, err
 	}
 	maxE := sc.Device.MaxPowerEnergy()
 	series := &stats.Series{Name: pf.Name}
-	_, err = RunOne(sc, pf, seed, func(r slotsim.SlotRecord) {
+	m, err := RunOneCtx(ctx, sc, pf, seed, func(r slotsim.SlotRecord) {
 		win.Add(r.Energy)
 		if r.Slot%int64(stride) == int64(stride)-1 && win.Full() {
 			series.Append(float64(r.Slot+1), 1-win.Mean()/maxE)
 		}
 	})
 	if err != nil {
-		return nil, err
+		return nil, slotsim.Metrics{}, err
 	}
-	return series, nil
+	return series, m, nil
 }
 
 // MeanSeries averages several equally-sampled series pointwise (multi-seed

@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/estimator"
 	"repro/internal/mdp"
 	"repro/internal/qlearn"
@@ -41,7 +43,16 @@ type R1Row struct {
 // per-decision cost of a Q-DPM step versus re-running LP policy
 // optimization or value iteration, and the resident memory of the Q table
 // versus the explicit model. Model size scales via the queue capacity.
+//
+// R1 is a wall-clock microbenchmark, so it deliberately never uses the
+// worker pool — concurrent simulation work on the same cores would
+// corrupt the timings. TableR1Ctx only adds cancellation between sizes.
 func TableR1(queueCaps []int) (*Table, []R1Row, error) {
+	return TableR1Ctx(context.Background(), queueCaps)
+}
+
+// TableR1Ctx is TableR1 with cancellation between model sizes.
+func TableR1Ctx(ctx context.Context, queueCaps []int) (*Table, []R1Row, error) {
 	dev, err := CanonDevice()
 	if err != nil {
 		return nil, nil, err
@@ -56,6 +67,9 @@ func TableR1(queueCaps []int) (*Table, []R1Row, error) {
 	}
 	var rows []R1Row
 	for _, qc := range queueCaps {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		d, err := mdp.BuildDPM(mdp.DPMConfig{
 			Device: dev, ArrivalP: 0.15, QueueCap: qc, LatencyWeight: CanonLatencyWeight,
 		})
@@ -166,6 +180,20 @@ func buildEstimators() (*estimator.WindowRate, *estimator.CUSUM, error) {
 // TableR2 compares every policy's average power and latency on stationary
 // workloads across arrival rates, pooled over seeds.
 func TableR2(rates []float64, slots int64, seeds []uint64) (*Table, error) {
+	return TableR2Ctx(context.Background(), rates, slots, seeds, Parallel{})
+}
+
+// r2Cell names one (scenario, policy) table cell.
+type r2Cell struct {
+	rate float64
+	sc   Scenario
+	pf   PolicyFactory
+}
+
+// TableR2Ctx is TableR2 with cancellation and pool control. The exact
+// model solves (one per rate) and the rate × policy × seed replica grid
+// both fan out across the worker pool; rows keep their canonical order.
+func TableR2Ctx(ctx context.Context, rates []float64, slots int64, seeds []uint64, par Parallel) (*Table, error) {
 	dev, err := CanonDevice()
 	if err != nil {
 		return nil, err
@@ -175,12 +203,23 @@ func TableR2(rates []float64, slots int64, seeds []uint64) (*Table, error) {
 		Headers: []string{"λ/slot", "policy", "power (W)", "±95%", "wait (slots)", "energy red."},
 		Note:    fmt.Sprintf("%d slots, %d seeds; energy reduction vs always-on", slots, len(seeds)),
 	}
-	for _, rate := range rates {
+
+	// The per-rate optimal policies each cost an RVI solve; derive them
+	// concurrently before fanning out the replica grid. The solves skip
+	// the progress callback — they are not replicas, and feeding them to
+	// a replica counter would reset it mid-experiment.
+	optFactories, err := engine.Map(ctx, &engine.Pool{Workers: par.Workers}, len(rates),
+		func(_ context.Context, i int) (PolicyFactory, error) {
+			pf, _, err := OptimalFactory(dev, rates[i])
+			return pf, err
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	var cells []r2Cell
+	for ri, rate := range rates {
 		rate := rate
-		optFactory, _, err := OptimalFactory(dev, rate)
-		if err != nil {
-			return nil, err
-		}
 		sc := Scenario{
 			Name: fmt.Sprintf("r2-%g", rate), Device: dev,
 			QueueCap: CanonQueueCap, LatencyWeight: CanonLatencyWeight, Slots: slots,
@@ -200,21 +239,28 @@ func TableR2(rates []float64, slots int64, seeds []uint64) (*Table, error) {
 			PredictiveFactory(dev),
 			AdaptiveLPFactory(dev, rate, 0),
 			QDPMFactory(dev),
-			optFactory,
+			optFactories[ri],
 		} {
-			sum, err := RunReplicated(sc, pf, seeds)
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%g", rate),
-				pf.Name,
-				fmt.Sprintf("%.4f", sum.AvgPowerW.Mean()),
-				fmt.Sprintf("%.4f", sum.AvgPowerW.CI95()),
-				fmt.Sprintf("%.3f", sum.MeanWaitSlots.Mean()),
-				fmt.Sprintf("%.1f%%", 100*sum.EnergyReduction.Mean()),
-			})
+			cells = append(cells, r2Cell{rate: rate, sc: sc, pf: pf})
 		}
+	}
+
+	sums, err := replicaGrid(ctx, par, cells, seeds, func(c r2Cell) (Scenario, PolicyFactory) {
+		return c.sc, c.pf
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, cell := range cells {
+		sum := sums[ci]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", cell.rate),
+			cell.pf.Name,
+			fmt.Sprintf("%.4f", sum.AvgPowerW.Mean()),
+			fmt.Sprintf("%.4f", sum.AvgPowerW.CI95()),
+			fmt.Sprintf("%.3f", sum.MeanWaitSlots.Mean()),
+			fmt.Sprintf("%.1f%%", 100*sum.EnergyReduction.Mean()),
+		})
 	}
 	return t, nil
 }
@@ -272,6 +318,12 @@ func abs(x float64) float64 {
 // TableR3 runs the Fig. 2 scenario per policy and reports recovery time
 // after each switch plus total energy.
 func TableR3(cfg Fig2Config) (*Table, error) {
+	return TableR3Ctx(context.Background(), cfg, Parallel{})
+}
+
+// TableR3Ctx is TableR3 with cancellation and pool control; the policies
+// run concurrently (each policy's pair of runs stays on one worker).
+func TableR3Ctx(ctx context.Context, cfg Fig2Config, par Parallel) (*Table, error) {
 	sc, switches, err := Fig2Scenario(cfg)
 	if err != nil {
 		return nil, err
@@ -292,39 +344,44 @@ func TableR3(cfg Fig2Config) (*Table, error) {
 		Headers: []string{"policy", "recovery after switch (slots)", "total energy (J)", "mean wait (slots)"},
 		Note:    "recovery = slots until the windowed energy-reduction series stays within 0.05 of the segment's settled level",
 	}
-	for _, pf := range []PolicyFactory{
+	pfs := []PolicyFactory{
 		QDPMTrackingFactory(dev),
 		AdaptiveLPFactory(dev, cfg.Rates[0], cfg.OptimizeLatencySlots),
 		TimeoutFactory(dev, 8),
 		GreedyOffFactory(dev),
-	} {
-		series, err := WindowedEnergyReductionSeries(sc, pf, cfg.Seeds[0], cfg.Window, cfg.Stride)
-		if err != nil {
-			return nil, err
-		}
-		rec := RecoverySlots(series, swF, segEnds, 0.05)
-		m, err := RunOne(sc, pf, cfg.Seeds[0], nil)
-		if err != nil {
-			return nil, err
-		}
-		recStr := ""
-		for i, r := range rec {
-			if i > 0 {
-				recStr += " / "
-			}
-			if r < 0 {
-				recStr += "never"
-			} else {
-				recStr += fmt.Sprintf("%d", r)
-			}
-		}
-		t.Rows = append(t.Rows, []string{
-			pf.Name,
-			recStr,
-			fmt.Sprintf("%.0f", m.EnergyJ),
-			fmt.Sprintf("%.2f", m.MeanWaitSlots()),
-		})
 	}
+	rows, err := engine.Map(ctx, par.pool(), len(pfs),
+		func(ctx context.Context, i int) ([]string, error) {
+			pf := pfs[i]
+			// One simulation yields both the recovery series and the
+			// energy/wait metrics.
+			series, m, err := windowedEnergyReductionSeriesMetrics(ctx, sc, pf, cfg.Seeds[0], cfg.Window, cfg.Stride)
+			if err != nil {
+				return nil, err
+			}
+			rec := RecoverySlots(series, swF, segEnds, 0.05)
+			recStr := ""
+			for i, r := range rec {
+				if i > 0 {
+					recStr += " / "
+				}
+				if r < 0 {
+					recStr += "never"
+				} else {
+					recStr += fmt.Sprintf("%d", r)
+				}
+			}
+			return []string{
+				pf.Name,
+				recStr,
+				fmt.Sprintf("%.0f", m.EnergyJ),
+				fmt.Sprintf("%.2f", m.MeanWaitSlots()),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -369,6 +426,11 @@ func (j *jitterArrivals) String() string {
 // regime where the paper claims Q-DPM's tolerance and where the
 // mode-switch controller either thrashes or ignores the drift.
 func TableR4(base, amp float64, period int64, slots int64, seeds []uint64) (*Table, error) {
+	return TableR4Ctx(context.Background(), base, amp, period, slots, seeds, Parallel{})
+}
+
+// TableR4Ctx is TableR4 with cancellation and pool control.
+func TableR4Ctx(ctx context.Context, base, amp float64, period int64, slots int64, seeds []uint64, par Parallel) (*Table, error) {
 	dev, err := CanonDevice()
 	if err != nil {
 		return nil, err
@@ -392,16 +454,20 @@ func TableR4(base, amp float64, period int64, slots int64, seeds []uint64) (*Tab
 		Note: fmt.Sprintf("λ = %g ± %.0f%% redrawn every %d slots, %d slots, %d seeds; static-optimal gain at base rate = %.4f",
 			base, 100*amp, period, slots, len(seeds), gain),
 	}
-	for _, pf := range []PolicyFactory{
+	pfs := []PolicyFactory{
 		QDPMTrackingFactory(dev),
 		AdaptiveLPFactory(dev, base, 2000),
 		optFactory,
 		TimeoutFactory(dev, 8),
-	} {
-		sum, err := RunReplicated(sc, pf, seeds)
-		if err != nil {
-			return nil, err
-		}
+	}
+	sums, err := replicaGrid(ctx, par, pfs, seeds, func(pf PolicyFactory) (Scenario, PolicyFactory) {
+		return sc, pf
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pf := range pfs {
+		sum := sums[pi]
 		t.Rows = append(t.Rows, []string{
 			pf.Name,
 			fmt.Sprintf("%.4f", sum.AvgCost.Mean()),
@@ -447,6 +513,13 @@ func DefaultAblations() []AblationSpec {
 // TableAblations runs each variant on the Fig. 1 scenario and reports the
 // tail (post-convergence) average cost against the optimal gain.
 func TableAblations(specs []AblationSpec, arrivalP float64, slots int64, seeds []uint64) (*Table, error) {
+	return TableAblationsCtx(context.Background(), specs, arrivalP, slots, seeds, Parallel{})
+}
+
+// TableAblationsCtx is TableAblations with cancellation and pool control:
+// the variant × seed grid fans out across the pool and each variant's
+// tails pool in seed order.
+func TableAblationsCtx(ctx context.Context, specs []AblationSpec, arrivalP float64, slots int64, seeds []uint64, par Parallel) (*Table, error) {
 	dev, err := CanonDevice()
 	if err != nil {
 		return nil, err
@@ -472,15 +545,26 @@ func TableAblations(specs []AblationSpec, arrivalP float64, slots int64, seeds [
 		Note: fmt.Sprintf("λ=%g, %d slots, tail = last 25%% of the windowed series, optimal gain %.4f",
 			arrivalP, slots, gain),
 	}
-	for _, spec := range specs {
-		pf := QDPMVariantFactory(spec.Name, dev, spec.Mut)
-		var tails stats.Running
-		for _, seed := range seeds {
-			s, err := WindowedCostSeries(sc, pf, seed, 4000, 2000)
+	if len(seeds) == 0 {
+		return nil, errNoSeeds
+	}
+	tailGrid, err := engine.Map(ctx, par.pool(), len(specs)*len(seeds),
+		func(ctx context.Context, i int) (float64, error) {
+			spec := specs[i/len(seeds)]
+			pf := QDPMVariantFactory(spec.Name, dev, spec.Mut)
+			s, err := WindowedCostSeriesCtx(ctx, sc, pf, seeds[i%len(seeds)], 4000, 2000)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			tails.Add(s.TailMean(0.25))
+			return s.TailMean(0.25), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for si, spec := range specs {
+		var tails stats.Running
+		for _, tail := range tailGrid[si*len(seeds) : (si+1)*len(seeds)] {
+			tails.Add(tail)
 		}
 		t.Rows = append(t.Rows, []string{
 			spec.Name,

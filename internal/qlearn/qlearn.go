@@ -134,24 +134,24 @@ func (b Boltzmann) Select(qvals []float64, step int64, stream *rng.Stream) (int,
 	if temp <= 0 {
 		return argmax(qvals, stream), false
 	}
-	// Softmax with max-shift for stability.
+	// Softmax with max-shift for stability. The weights are recomputed in
+	// the selection pass rather than stored so the per-decision hot path
+	// allocates nothing; exp is deterministic, so both passes agree.
 	mx := qvals[0]
 	for _, q := range qvals[1:] {
 		if q > mx {
 			mx = q
 		}
 	}
-	weights := make([]float64, len(qvals))
 	total := 0.0
-	for i, q := range qvals {
-		weights[i] = math.Exp((q - mx) / temp)
-		total += weights[i]
+	for _, q := range qvals {
+		total += math.Exp((q - mx) / temp)
 	}
 	u := stream.Float64() * total
 	acc := 0.0
 	choice := len(qvals) - 1
-	for i, w := range weights {
-		acc += w
+	for i, q := range qvals {
+		acc += math.Exp((q - mx) / temp)
 		if u < acc {
 			choice = i
 			break
@@ -261,6 +261,11 @@ type Agent struct {
 	traces map[int32]float64 // state*nA+action -> eligibility
 
 	updates int64
+
+	// scratch holds the legal-action Q values during SelectAction. One
+	// selection runs per simulated slot, so this buffer keeps the
+	// decision hot path allocation-free.
+	scratch []float64
 }
 
 // NewAgent validates the configuration and returns a zeroed agent.
@@ -373,7 +378,10 @@ func (a *Agent) SelectAction(s int, legal []int, stream *rng.Stream) (action int
 	if len(legal) == 0 {
 		panic("qlearn: SelectAction with no legal actions")
 	}
-	qvals := make([]float64, len(legal))
+	if cap(a.scratch) < len(legal) {
+		a.scratch = make([]float64, len(legal))
+	}
+	qvals := a.scratch[:len(legal)]
 	for i, act := range legal {
 		qvals[i] = a.Q(s, act)
 	}

@@ -1,0 +1,88 @@
+package slotsim
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// benchSim builds a canonical simulator for the hot-path benchmarks: the
+// synthetic 3-state device under Bernoulli arrivals with a policy that
+// exercises real transitions (timeout-style: sleep after idling).
+func benchSim(b *testing.B) *Sim {
+	b.Helper()
+	dev, err := device.Synthetic3().Slot(0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr, err := workload.NewBernoulli(0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(Config{
+		Device:        dev,
+		Arrivals:      arr,
+		QueueCap:      8,
+		Policy:        timeoutPolicy{dev: dev, slots: 8},
+		Stream:        rng.New(1),
+		LatencyWeight: 0.3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// timeoutPolicy is a self-contained fixed-timeout policy (slotsim cannot
+// import internal/policy without a cycle in tests' mental model; the logic
+// is four lines).
+type timeoutPolicy struct {
+	dev   *device.Slotted
+	slots int64
+}
+
+func (timeoutPolicy) Name() string { return "bench-timeout" }
+
+func (p timeoutPolicy) Decide(o Observation) device.StateID {
+	if o.Queue > 0 || o.IdleSlots < p.slots {
+		return 0 // active
+	}
+	return device.StateID(p.dev.PSM.NumStates() - 1) // deepest sleep
+}
+
+// BenchmarkRunBare measures the per-slot cost of the observer-free run
+// loop — the path every replicated experiment takes. Allocations per op
+// must be (amortized) zero: -benchmem is the regression guard.
+func BenchmarkRunBare(b *testing.B) {
+	s := benchSim(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := s.Run(int64(b.N), nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRunObserved measures the run loop with a trivial observer, the
+// path the windowed figure series take.
+func BenchmarkRunObserved(b *testing.B) {
+	s := benchSim(b)
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := s.Run(int64(b.N), func(r SlotRecord) { sink += r.Cost }); err != nil {
+		b.Fatal(err)
+	}
+	_ = sink
+}
+
+// BenchmarkStep measures a single public Step call.
+func BenchmarkStep(b *testing.B) {
+	s := benchSim(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

@@ -284,6 +284,17 @@ func (s *Sim) Observe() Observation {
 
 // Step advances one slot and returns its record.
 func (s *Sim) Step() SlotRecord {
+	var rec SlotRecord
+	s.step(&rec)
+	return rec
+}
+
+// step advances one slot, filling rec when non-nil. The rec == nil path
+// is the hot loop of every replicated experiment: it skips the record
+// entirely, and together with the preallocated policy scratch buffers it
+// performs no per-slot heap allocations (guarded by BenchmarkRunBare's
+// -benchmem output).
+func (s *Sim) step(rec *SlotRecord) {
 	dev := s.cfg.Device
 	prev := s.Observe()
 
@@ -361,16 +372,16 @@ func (s *Sim) Step() SlotRecord {
 	s.metrics.BacklogSum += int64(backlog)
 
 	s.slot++
-	rec := SlotRecord{
-		Slot:          prev.Slot,
-		Energy:        slotEnergy,
-		Cost:          cost,
-		Backlog:       backlog,
-		Arrived:       arrived,
-		Served:        served,
-		Lost:          lost,
-		Phase:         s.phase,
-		Transitioning: transitioning,
+	if rec != nil {
+		rec.Slot = prev.Slot
+		rec.Energy = slotEnergy
+		rec.Cost = cost
+		rec.Backlog = backlog
+		rec.Arrived = arrived
+		rec.Served = served
+		rec.Lost = lost
+		rec.Phase = s.phase
+		rec.Transitioning = transitioning
 	}
 
 	if s.learner != nil {
@@ -385,19 +396,26 @@ func (s *Sim) Step() SlotRecord {
 			Next:    s.Observe(),
 		})
 	}
-	return rec
 }
 
 // Run advances n slots, invoking observer (if non-nil) after each slot,
 // and returns the accumulated metrics. Run may be called repeatedly; the
-// metrics accumulate across calls.
+// metrics accumulate across calls. The observer choice selects the loop
+// at call time: the nil-observer loop never materializes slot records.
 func (s *Sim) Run(n int64, observer func(SlotRecord)) (Metrics, error) {
 	if n < 0 {
 		return Metrics{}, fmt.Errorf("slotsim: negative slot count %d", n)
 	}
-	for i := int64(0); i < n; i++ {
-		rec := s.Step()
-		if observer != nil {
+	if observer == nil {
+		for i := int64(0); i < n; i++ {
+			s.step(nil)
+		}
+	} else {
+		// One record, reused across the run; the observer receives it by
+		// value so retaining it is safe.
+		var rec SlotRecord
+		for i := int64(0); i < n; i++ {
+			s.step(&rec)
 			observer(rec)
 		}
 	}

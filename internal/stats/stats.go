@@ -63,13 +63,21 @@ func (r *Running) Min() float64 { return r.min }
 func (r *Running) Max() float64 { return r.max }
 
 // Merge combines another accumulator into r (parallel Welford merge), so
-// per-replica statistics can be pooled across seeds.
+// per-replica statistics can be pooled across seeds. A single-observation
+// merge takes the exact Add path, which makes reducing one-sample
+// accumulators in order bit-identical to adding the samples serially —
+// the property the parallel experiment engine's determinism guarantee
+// rests on.
 func (r *Running) Merge(o *Running) {
 	if o.n == 0 {
 		return
 	}
 	if r.n == 0 {
 		*r = *o
+		return
+	}
+	if o.n == 1 {
+		r.Add(o.mean)
 		return
 	}
 	n := r.n + o.n

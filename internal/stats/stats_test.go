@@ -73,6 +73,24 @@ func TestRunningMergeMatchesSequential(t *testing.T) {
 	}
 }
 
+func TestRunningMergeSingletonBitIdenticalToAdd(t *testing.T) {
+	// The parallel experiment engine reduces one-sample accumulators in
+	// replica order and promises bit-identical results versus the serial
+	// Add loop; this pins the property down at the stats layer.
+	s := rng.New(9)
+	var serial, merged Running
+	for i := 0; i < 500; i++ {
+		x := s.NormFloat64()*2 + 1
+		serial.Add(x)
+		var one Running
+		one.Add(x)
+		merged.Merge(&one)
+	}
+	if serial != merged {
+		t.Errorf("singleton merges diverged from serial adds:\n merged %+v\n serial %+v", merged, serial)
+	}
+}
+
 func TestRunningMergeEmptyCases(t *testing.T) {
 	var a, b Running
 	a.Add(1)
