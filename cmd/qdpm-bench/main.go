@@ -8,6 +8,7 @@
 //	qdpm-bench -exp r3       # Table R3 — nonstationary tracking
 //	qdpm-bench -exp r4       # Table R4 — small-variation tolerance
 //	qdpm-bench -exp ablate   # design-choice ablations
+//	qdpm-bench -exp ct       # Table CT — continuous-time renewal workloads
 //	qdpm-bench -exp all      # everything
 //
 // -quick shrinks run lengths ~5x for a fast smoke pass. -parallel sets
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1|fig2|r1|r2|r3|r4|ablate|all")
+	exp := flag.String("exp", "all", "experiment: fig1|fig2|r1|r2|r3|r4|ablate|ct|all")
 	quick := flag.Bool("quick", false, "shrink run lengths ~5x")
 	parallel := flag.Int("parallel", 0, "replica worker-pool size (0 = GOMAXPROCS, 1 = serial)")
 	seed := flag.Uint64("seed", 0, "derive replica seeds from this base (0 = canonical seeds)")
@@ -192,6 +193,25 @@ func main() {
 			}
 			seeds = reseed(seeds, 6)
 			tab, err := experiment.TableAblationsCtx(ctx, specs, 0.1, slots, seeds, par)
+			if err != nil {
+				return err
+			}
+			experiment.RenderTable(os.Stdout, tab.Title, tab.Headers, tab.Rows)
+			fmt.Printf("# %s\n", tab.Note)
+			return nil
+		})
+	}
+	if want("ct") {
+		matched = true
+		run("ct", func() error {
+			horizon := 100000.0 // seconds ≈ 200k governor ticks
+			seeds := []uint64{31, 32, 33, 34}
+			if *quick {
+				horizon = 20000
+				seeds = seeds[:2]
+			}
+			seeds = reseed(seeds, 7)
+			tab, err := experiment.TableCTCtx(ctx, 0.2, horizon, seeds, par)
 			if err != nil {
 				return err
 			}

@@ -5,6 +5,8 @@
 //	qdpm-sim -device hdd -policy timeout -timeout 16 -workload onoff
 //	qdpm-sim -device wlan -policy optimal -rate 0.3
 //	qdpm-sim -policy q-dpm -replicas 16 -parallel 4   # pooled, 4 workers
+//	qdpm-sim -mode ct -workload hyperexp -rate 0.1    # continuous time
+//	qdpm-sim -mode ct -trace requests.txt             # trace playback
 //
 // With -replicas N > 1 the run fans N deterministic replicas (seeds
 // derived from -seed) across the experiment engine's worker pool and
@@ -12,9 +14,18 @@
 // the pool (0 = GOMAXPROCS). Results are bit-identical for every
 // -parallel value.
 //
+// -mode ct switches to the event-driven continuous-time simulator
+// (internal/ctsim): arrivals occur at real-valued times drawn from a
+// renewal law (-workload exp|pareto|weibull|erlang|hyperexp|uniform; the
+// per-slot -rate converts via -slot) or replayed from -trace, device
+// transitions take their physical latencies, and the chosen policy runs
+// under a -slot-period governor via the slotted-policy adapter. -horizon
+// sets the run length in seconds (default -slots × -slot).
+//
 // Policies: q-dpm, q-dpm-sarsa, q-dpm-double, q-dpm-fuzzy, optimal,
 // adaptive-lp, always-on, greedy-off, timeout, adaptive-timeout,
-// predictive. Workloads: bernoulli (default), poisson, onoff, pareto.
+// predictive. Slotted workloads: bernoulli (default), poisson, onoff,
+// pareto.
 package main
 
 import (
@@ -25,6 +36,7 @@ import (
 	"os/signal"
 
 	"repro/internal/core"
+	"repro/internal/ctsim"
 	"repro/internal/device"
 	"repro/internal/dist"
 	"repro/internal/engine"
@@ -35,6 +47,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/slotsim"
 	"repro/internal/stochpm"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -59,6 +72,9 @@ func run() error {
 		timeout  = flag.Int64("timeout", 8, "timeout slots (timeout policy)")
 		replicas = flag.Int("replicas", 1, "independent replicas to pool")
 		parallel = flag.Int("parallel", 0, "worker-pool size for replicas (0 = GOMAXPROCS)")
+		mode     = flag.String("mode", "slot", "simulator: slot (discrete-time) or ct (event-driven continuous time)")
+		horizon  = flag.Float64("horizon", 0, "ct horizon in seconds (0 = slots×slot)")
+		traceIn  = flag.String("trace", "", "ct mode: replay arrivals from this trace file instead of -workload")
 	)
 	flag.Parse()
 
@@ -69,6 +85,19 @@ func run() error {
 	dev, err := psm.Slot(*slotDur)
 	if err != nil {
 		return err
+	}
+
+	switch *mode {
+	case "slot":
+	case "ct":
+		h := *horizon
+		if h == 0 {
+			h = float64(*slots) * *slotDur
+		}
+		return runCT(psm, dev, *polName, *wlName, *traceIn, *rate, *slotDur, h,
+			*queueCap, *latW, *timeout, *seed, *replicas, *parallel)
+	default:
+		return fmt.Errorf("unknown mode %q (want slot or ct)", *mode)
 	}
 
 	arr, err := buildWorkload(*wlName, *rate)
@@ -223,4 +252,104 @@ func buildPolicy(name string, dev *device.Slotted, qcap int, latW, rate float64,
 	default:
 		return nil, fmt.Errorf("unknown policy %q", name)
 	}
+}
+
+// buildCTSource maps a workload name (a dist.ByName law; bernoulli and
+// poisson degrade gracefully to their continuous limit, the Poisson
+// process) or a trace file to a continuous-time arrival source factory.
+// ratePerSec is the arrival rate in requests per second.
+func buildCTSource(name, traceFile string, ratePerSec float64) (func() (ctsim.Source, error), string, error) {
+	if traceFile != "" {
+		tr, err := trace.ReadFile(traceFile)
+		if err != nil {
+			return nil, "", err
+		}
+		desc := fmt.Sprintf("trace %s (%d requests over %.1f s)", traceFile, tr.Len(), tr.Duration())
+		return func() (ctsim.Source, error) { return ctsim.NewTraceSource(tr) }, desc, nil
+	}
+	switch name {
+	case "bernoulli", "poisson":
+		name = "exp"
+	}
+	d, err := dist.ByName(name, ratePerSec)
+	if err != nil {
+		return nil, "", err
+	}
+	return func() (ctsim.Source, error) { return ctsim.NewRenewalSource(d) }, d.String(), nil
+}
+
+// runCT drives the event-driven continuous-time simulator with the chosen
+// slotted policy adapted onto a slotDur-period governor.
+func runCT(psm *device.PSM, dev *device.Slotted, polName, wlName, traceFile string,
+	ratePerSlot, slotDur, horizon float64, queueCap int, latW float64,
+	timeout int64, seed uint64, replicas, parallel int) error {
+
+	srcFactory, srcDesc, err := buildCTSource(wlName, traceFile, ratePerSlot/slotDur)
+	if err != nil {
+		return err
+	}
+	sc := experiment.CTScenario{
+		Name:          psm.Name,
+		Device:        psm,
+		QueueCap:      queueCap,
+		LatencyWeight: latW / slotDur, // J/request-slot → J/request-second
+		Horizon:       horizon,
+		Period:        slotDur,
+		Source: func() ctsim.Source {
+			src, err := srcFactory()
+			if err != nil {
+				panic(err) // factory inputs validated above
+			}
+			return src
+		},
+	}
+	pf := experiment.PolicyFactory{
+		Name: polName,
+		New: func(stream *rng.Stream) (slotsim.Policy, error) {
+			return buildPolicy(polName, dev, queueCap, latW, ratePerSlot, timeout, stream)
+		},
+	}
+
+	maxPower := psm.MaxPower()
+	fmt.Printf("device        %s (%d states, continuous time, %.3gs governor)\n",
+		psm.Name, psm.NumStates(), slotDur)
+	fmt.Printf("arrivals      %s\n", srcDesc)
+	fmt.Printf("policy        %s\n", pf.Name)
+
+	if replicas > 1 {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		seeds := engine.DeriveSeeds(seed, replicas)
+		sum, err := experiment.RunCTReplicatedCtx(ctx, sc, pf, seeds, experiment.Parallel{Workers: parallel})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replicas      %d × %.0f s (base seed %d)\n", sum.Replicas, horizon, seed)
+		fmt.Printf("avg power     %.4f ± %.4f W (always-on %.4f W)\n",
+			sum.AvgPowerW.Mean(), sum.AvgPowerW.CI95(), maxPower)
+		fmt.Printf("energy red.   %.1f%% ± %.1f%%\n",
+			100*sum.EnergyReduction.Mean(), 100*sum.EnergyReduction.CI95())
+		fmt.Printf("mean wait     %.3f ± %.3f s\n", sum.MeanWaitSec.Mean(), sum.MeanWaitSec.CI95())
+		fmt.Printf("loss rate     %.3f%% ± %.3f%%\n", 100*sum.LossRate.Mean(), 100*sum.LossRate.CI95())
+		return nil
+	}
+
+	m, err := experiment.RunCTOne(sc, pf, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("horizon       %.1f s\n", m.Horizon)
+	fmt.Printf("energy        %.2f J\n", m.EnergyJ)
+	fmt.Printf("avg power     %.4f W (always-on %.4f W)\n", m.AvgPowerW(), maxPower)
+	fmt.Printf("energy red.   %.1f%%\n", 100*(1-m.AvgPowerW()/maxPower))
+	fmt.Printf("requests      %d arrived, %d served, %d lost (%.2f%%)\n",
+		m.Arrived, m.Served, m.Lost, 100*m.LossRate())
+	fmt.Printf("mean wait     %.3f s\n", m.MeanWaitSeconds())
+	fmt.Printf("mean backlog  %.3f requests\n", m.MeanBacklog())
+	fmt.Printf("decisions     %d (%d commands, %d clamped)\n", m.Decisions, m.Commands, m.Clamped)
+	for i, st := range m.StateTime {
+		fmt.Printf("state %-10s %10.1f s (%.1f%%)\n", psm.States[i].Name, st, 100*st/m.Horizon)
+	}
+	fmt.Printf("switching     %10.1f s (%.1f%%)\n", m.TransitionTime, 100*m.TransitionTime/m.Horizon)
+	return nil
 }

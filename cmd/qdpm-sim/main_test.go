@@ -1,10 +1,14 @@
 package main
 
 import (
+	"math"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/device"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 func TestBuildWorkloadAllKinds(t *testing.T) {
@@ -55,5 +59,70 @@ func TestBuildPolicyAllKinds(t *testing.T) {
 	}
 	if _, err := buildPolicy("nope", dev, 8, 0.3, 0.1, 8, rng.New(1)); err == nil {
 		t.Error("unknown policy accepted")
+	}
+}
+
+func TestBuildCTSourceAllKinds(t *testing.T) {
+	for _, name := range []string{"bernoulli", "poisson", "exp", "pareto", "weibull", "erlang", "hyperexp", "uniform"} {
+		factory, desc, err := buildCTSource(name, "", 0.5)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if desc == "" {
+			t.Errorf("%s: empty source description", name)
+		}
+		src, err := factory()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		s := rng.New(1)
+		prev := 0.0
+		for i := 0; i < 50; i++ {
+			tt := src.Next(s)
+			if tt < prev {
+				t.Errorf("%s: arrival times not monotone (%v after %v)", name, tt, prev)
+				break
+			}
+			prev = tt
+		}
+	}
+	if _, _, err := buildCTSource("nope", "", 1); err == nil {
+		t.Error("unknown ct workload accepted")
+	}
+	if _, _, err := buildCTSource("exp", "/nonexistent/trace", 1); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestBuildCTSourceTraceReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.txt")
+	tr := &trace.Trace{Times: []float64{0.5, 1.5, 4}}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteText(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	factory, _, err := buildCTSource("exp", path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(1)
+	for _, want := range tr.Times {
+		if got := src.Next(s); got != want {
+			t.Fatalf("replayed %v, want %v", got, want)
+		}
+	}
+	if got := src.Next(s); !math.IsInf(got, 1) {
+		t.Fatalf("exhausted trace returned %v, want +Inf", got)
 	}
 }

@@ -58,34 +58,12 @@ func cmdGen(args []string) error {
 	if *rate <= 0 {
 		return fmt.Errorf("rate must be positive")
 	}
-	mean := 1 / *rate
 
-	var d dist.Continuous
-	var err error
-	switch *distName {
-	case "exp":
-		d, err = dist.NewExponential(*rate)
-	case "pareto":
-		alpha := 1.5
-		d, err = dist.NewPareto(mean*(alpha-1)/alpha, alpha)
-	case "weibull":
-		k := 0.7 // heavy-ish tail
-		var w dist.Weibull
-		w, err = dist.NewWeibull(1, k)
-		if err == nil {
-			// Rescale so the mean is `mean`.
-			w.Lambda = mean / w.Mean()
-			d = w
-		}
-	case "erlang":
-		d, err = dist.NewErlang(3, 3/mean)
-	case "hyperexp":
-		d, err = dist.NewHyperExp(0.3, 5/mean, 0.5/mean)
-	case "uniform":
-		d, err = dist.NewUniform(0, 2*mean)
-	default:
-		return fmt.Errorf("unknown distribution %q", *distName)
-	}
+	// dist.ByName is the calibrated single source of truth: every law's
+	// mean interarrival is exactly 1/rate. (The old inline hyperexp used
+	// rates (5, 0.5)/mean, whose mixture mean is 1.46/rate — `-rate R`
+	// silently produced ~0.68R arrivals/s.)
+	d, err := dist.ByName(*distName, *rate)
 	if err != nil {
 		return err
 	}
@@ -110,23 +88,11 @@ func cmdGen(args []string) error {
 	return tr.WriteText(w)
 }
 
-func readTrace(path string) (*trace.Trace, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".bin") {
-		return trace.ReadBinary(f)
-	}
-	return trace.ReadText(f)
-}
-
 func cmdDescribe(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: qdpm-trace describe <file>")
 	}
-	tr, err := readTrace(args[0])
+	tr, err := trace.ReadFile(args[0])
 	if err != nil {
 		return err
 	}
@@ -150,7 +116,7 @@ func cmdConvert(args []string) error {
 	if len(args) != 2 {
 		return fmt.Errorf("usage: qdpm-trace convert <in> <out>")
 	}
-	tr, err := readTrace(args[0])
+	tr, err := trace.ReadFile(args[0])
 	if err != nil {
 		return err
 	}

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/trace"
 )
 
 func TestGenDescribeConvertRoundTrip(t *testing.T) {
@@ -62,5 +66,88 @@ func TestBadInvocations(t *testing.T) {
 	}
 	if err := run([]string{"convert", "only-one-arg"}); err == nil {
 		t.Error("convert with one arg accepted")
+	}
+}
+
+// Every -dist value must be calibrated so gen -rate R really produces R
+// arrivals per second on average: pinned-seed regression for the old
+// hyperexp miscalibration (mixture mean 1.46/R → ~0.68R arrivals/s).
+func TestGenRateCalibration(t *testing.T) {
+	dir := t.TempDir()
+	const rate = 4.0
+	for _, d := range dist.Names() {
+		d := d
+		t.Run(d, func(t *testing.T) {
+			out := filepath.Join(dir, d+".txt")
+			if err := run([]string{"gen", "-dist", d, "-rate", "4", "-n", "200000", "-seed", "7", "-o", out}); err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.Open(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			tr, err := trace.ReadText(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := tr.Summary()
+			got := 1 / st.MeanInterarrival
+			// Pareto alpha=1.5 has infinite variance, so its sample mean
+			// converges far slower than the CLT rate; give it slack.
+			tol := 0.02
+			if d == "pareto" {
+				tol = 0.10
+			}
+			if rel := math.Abs(got-rate) / rate; rel > tol {
+				t.Errorf("%s: empirical rate %.4f/s, want %.4f/s within %.0f%% (off by %.1f%%)",
+					d, got, rate, 100*tol, 100*rel)
+			}
+		})
+	}
+}
+
+// The exact means are audited too: gen must hand every -dist value to the
+// calibrated dist.ByName constructors.
+func TestGenDistMeansMatchRate(t *testing.T) {
+	for _, name := range dist.Names() {
+		for _, rate := range []float64{0.5, 2, 8} {
+			d, err := dist.ByName(name, rate)
+			if err != nil {
+				t.Fatalf("%s rate %g: %v", name, rate, err)
+			}
+			want := 1 / rate
+			if got := d.Mean(); math.Abs(got-want) > 1e-12*want {
+				t.Errorf("%s rate %g: mean %v, want %v", name, rate, got, want)
+			}
+		}
+	}
+}
+
+// End-to-end binary path: gen -binary, describe, convert back to text.
+func TestGenBinaryDescribeConvert(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "h.bin")
+	txt := filepath.Join(dir, "h.txt")
+	if err := run([]string{"gen", "-dist", "hyperexp", "-rate", "2", "-n", "1000", "-binary", "-o", bin}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"describe", bin}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"convert", bin, txt}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("converted trace has %d records, want 1000", tr.Len())
 	}
 }

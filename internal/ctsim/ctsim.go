@@ -1,0 +1,674 @@
+// Package ctsim implements the event-driven continuous-time simulation of
+// a power-managed system on the eventq kernel: request arrivals at
+// real-valued times (any renewal interarrival law or trace playback) →
+// bounded queue → device PSM with real transition latencies and energies,
+// under a pluggable decision policy.
+//
+// The paper's Q-DPM formulation is an SMDP over real-valued
+// inter-decision times; the slotted simulator (internal/slotsim) studies
+// its discretization. ctsim simulates the underlying continuous process
+// directly, which opens workloads the slot grid cannot express
+// (heavy-tailed Pareto/Weibull interarrivals at native resolution,
+// measured traces) and cross-validates the slotted results: in
+// slot-compatible mode (periodic decisions, batch service) a ctsim run
+// over slot-quantized arrivals and latencies reproduces a slotsim run
+// event for event — energy, service, and loss counts match exactly (see
+// TestCrossValidationSlotQuantized).
+//
+// Two decision regimes:
+//
+//   - Periodic (Config.DecisionPeriod > 0): a governor tick polls the
+//     policy every period seconds, the cadence OS-level power managers
+//     actually run at. Any slotsim policy or learner runs unmodified via
+//     Adapt, and the Q-DPM learner's SMDP update then discounts by the
+//     actual sojourn time between decision points (k ticks = k·period
+//     seconds) rather than an abstract slot count.
+//   - Event-driven (DecisionPeriod == 0): the policy is consulted only
+//     when the state changes (arrival, service completion, transition
+//     completion) or when a timer it requested via Decision.Wake expires —
+//     the native SMDP decision-epoch structure.
+//
+// Energy is accrued piecewise-exactly: state power × settled time, plus
+// transition energy spread uniformly over the transition latency (a
+// zero-latency transition charges its full energy at the switch instant),
+// matching the slotted simulator's accounting.
+package ctsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/eventq"
+	"repro/internal/rng"
+)
+
+// Config assembles a continuous-time simulation.
+type Config struct {
+	// Device is the physical PSM under management (unslotted: latencies in
+	// seconds, powers in watts).
+	Device *device.PSM
+	// InitialState is the device state at time 0 (default: state 0).
+	InitialState device.StateID
+	// QueueCap bounds the request queue (0 = unbounded).
+	QueueCap int
+	// LatencyWeight converts backlog into cost units: joules per
+	// request-second of queueing. Only the CostTotal metric uses it.
+	LatencyWeight float64
+	// Policy is the power manager (wrap a slotted policy with Adapt).
+	Policy Policy
+	// Source produces the arrival times. The simulator owns the value and
+	// advances it; build a fresh Source per replica.
+	Source Source
+	// Stream supplies the Source's randomness (policies carry their own
+	// streams). Required even for stream-free sources so the determinism
+	// contract is uniform.
+	Stream *rng.Stream
+	// DecisionPeriod > 0 selects the periodic governor with the given tick
+	// interval in seconds; 0 selects event-driven decisions.
+	DecisionPeriod float64
+	// SlotCompatible selects batch service at governor ticks (requires
+	// DecisionPeriod > 0): while the device is settled in a servicing
+	// state for a full period, up to BatchServe queued requests complete
+	// instantly at the tick. This reproduces the slotted simulator's
+	// service law exactly. Default (false): sequential service.
+	SlotCompatible bool
+	// BatchServe is the per-tick service capacity in slot-compatible mode
+	// (default floor(DecisionPeriod/ServiceTime), matching device.Slot).
+	BatchServe int
+	// ServiceTime is the sequential per-request service duration in
+	// seconds (default Device.ServiceTime). Ignored in slot-compatible
+	// mode.
+	ServiceTime float64
+}
+
+// Validate checks the configuration and fills defaults.
+func (c *Config) validate() error {
+	if c.Device == nil {
+		return fmt.Errorf("ctsim: config needs a device")
+	}
+	if c.Policy == nil {
+		return fmt.Errorf("ctsim: config needs a policy")
+	}
+	if c.Source == nil {
+		return fmt.Errorf("ctsim: config needs an arrival source")
+	}
+	if c.Stream == nil {
+		return fmt.Errorf("ctsim: config needs an rng stream")
+	}
+	if c.QueueCap < 0 {
+		return fmt.Errorf("ctsim: negative queue capacity %d", c.QueueCap)
+	}
+	if c.LatencyWeight < 0 || math.IsNaN(c.LatencyWeight) {
+		return fmt.Errorf("ctsim: latency weight %v must be >= 0", c.LatencyWeight)
+	}
+	if int(c.InitialState) < 0 || int(c.InitialState) >= c.Device.NumStates() {
+		return fmt.Errorf("ctsim: initial state %d out of range", c.InitialState)
+	}
+	if c.DecisionPeriod < 0 || math.IsNaN(c.DecisionPeriod) || math.IsInf(c.DecisionPeriod, 0) {
+		return fmt.Errorf("ctsim: decision period %v must be >= 0 and finite", c.DecisionPeriod)
+	}
+	if c.SlotCompatible && c.DecisionPeriod == 0 {
+		return fmt.Errorf("ctsim: slot-compatible service requires a decision period")
+	}
+	if c.ServiceTime == 0 {
+		c.ServiceTime = c.Device.ServiceTime
+	}
+	if !(c.ServiceTime > 0) || math.IsInf(c.ServiceTime, 0) {
+		return fmt.Errorf("ctsim: service time %v must be positive and finite", c.ServiceTime)
+	}
+	if c.SlotCompatible && c.BatchServe == 0 {
+		c.BatchServe = int(math.Floor(c.DecisionPeriod/c.ServiceTime + 1e-9))
+	}
+	if c.SlotCompatible && c.BatchServe < 1 {
+		return fmt.Errorf("ctsim: decision period %v shorter than service time %v", c.DecisionPeriod, c.ServiceTime)
+	}
+	return nil
+}
+
+// Observation is what a policy sees at a decision point.
+type Observation struct {
+	// Phase is the current power state (the source state while a
+	// transition is in progress).
+	Phase device.StateID
+	// Transitioning reports whether the device is mid-transition; while
+	// true, Decide is not consulted.
+	Transitioning bool
+	// TransTarget is the destination of the in-progress (or most recent)
+	// transition.
+	TransTarget device.StateID
+	// TransRemaining is the time in seconds until the transition settles
+	// (0 when settled).
+	TransRemaining float64
+	// Queue is the number of buffered requests (including one in service).
+	Queue int
+	// IdleTime is the time in seconds since the last arrival.
+	IdleTime float64
+	// Now is the current simulation time in seconds.
+	Now float64
+}
+
+// Feedback is the record handed to learning policies at the end of each
+// decision interval: every governor tick in periodic mode (including
+// intervals spent transitioning, where Action is the transition target),
+// or the span between consecutive decision points in event-driven mode.
+type Feedback struct {
+	// Prev is the observation the interval's decision was made on.
+	Prev Observation
+	// Action is the state commanded for the interval (after clamping; the
+	// transition target while switching).
+	Action device.StateID
+	// Sojourn is the interval length in seconds.
+	Sojourn float64
+	// Energy is the joules consumed during the interval. Instantaneous
+	// transition energy charged by a zero-latency switch at the interval's
+	// opening decision is excluded, mirroring the slotted simulator's
+	// per-slot feedback.
+	Energy float64
+	// Cost is Energy plus LatencyWeight × the interval's backlog-seconds.
+	Cost float64
+	// Served, Arrived, and Lost count the interval's requests.
+	Served, Arrived, Lost int
+	// Next is the observation at the end of the interval.
+	Next Observation
+}
+
+// Metrics summarizes a run.
+type Metrics struct {
+	// Horizon is the simulated time in seconds.
+	Horizon float64
+	// EnergyJ is the total energy in joules.
+	EnergyJ float64
+	// CostTotal is EnergyJ + LatencyWeight × BacklogSeconds.
+	CostTotal float64
+	// Arrived, Served, and Lost count requests.
+	Arrived, Served, Lost int64
+	// WaitSeconds is the cumulative sojourn (arrival → completion) of
+	// served requests.
+	WaitSeconds float64
+	// BacklogSeconds is the time integral of the queue length.
+	BacklogSeconds float64
+	// StateTime[i] is the time in seconds spent settled in state i.
+	StateTime []float64
+	// TransitionTime is the time spent switching states.
+	TransitionTime float64
+	// Commands counts accepted state-change commands; Clamped counts
+	// decisions rejected as disallowed transitions.
+	Commands, Clamped int64
+	// Decisions counts policy consultations.
+	Decisions int64
+}
+
+// AvgPowerW returns the mean power in watts.
+func (m *Metrics) AvgPowerW() float64 {
+	if m.Horizon == 0 {
+		return 0
+	}
+	return m.EnergyJ / m.Horizon
+}
+
+// MeanWaitSeconds returns the average served-request sojourn.
+func (m *Metrics) MeanWaitSeconds() float64 {
+	if m.Served == 0 {
+		return 0
+	}
+	return m.WaitSeconds / float64(m.Served)
+}
+
+// MeanBacklog returns the time-average queue length.
+func (m *Metrics) MeanBacklog() float64 {
+	if m.Horizon == 0 {
+		return 0
+	}
+	return m.BacklogSeconds / m.Horizon
+}
+
+// LossRate returns the fraction of arrivals that were dropped.
+func (m *Metrics) LossRate() float64 {
+	if m.Arrived == 0 {
+		return 0
+	}
+	return float64(m.Lost) / float64(m.Arrived)
+}
+
+// Sim is a single continuous-time simulation instance. Create with New,
+// drive with Run; not safe for concurrent use.
+type Sim struct {
+	cfg     Config
+	k       *eventq.Kernel
+	q       *timedQueue
+	learner Learner
+
+	// Device state.
+	phase       device.StateID
+	transInProg bool
+	transTarget device.StateID
+	transEnd    float64
+	transPower  float64 // W drawn while transitioning (energy/latency)
+	settledAt   float64 // time the device last became settled
+
+	// Accrual clocks.
+	accrueT  float64 // energy + state-time integrated up to here
+	backlogT float64 // backlog integral advanced up to here
+
+	lastArrival float64
+	lastAction  device.StateID
+
+	// Sequential service.
+	serving bool
+	serveEv *eventq.Event
+
+	// Policy wake timer (event-driven mode).
+	wakeEv *eventq.Event
+
+	// Learner epoch bases.
+	haveEpoch   bool
+	epochObs    Observation
+	epochEnergy float64
+	epochCost   float64
+	epochArr    int64
+	epochSrv    int64
+	epochLost   int64
+
+	metrics Metrics
+}
+
+// New validates cfg and returns a simulator with its initial events (the
+// first arrival and the first decision) scheduled at the kernel.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		cfg:        cfg,
+		k:          eventq.New(),
+		q:          newTimedQueue(cfg.QueueCap),
+		phase:      cfg.InitialState,
+		lastAction: cfg.InitialState,
+	}
+	s.metrics.StateTime = make([]float64, cfg.Device.NumStates())
+	if l, ok := cfg.Policy.(Learner); ok {
+		s.learner = l
+	}
+	// The first decision fires before any time-0 arrival: it is scheduled
+	// first, and the kernel breaks ties FIFO.
+	if s.periodic() {
+		if _, err := s.k.Schedule(0, s.tick); err != nil {
+			return nil, err
+		}
+	} else {
+		if _, err := s.k.Schedule(0, s.decisionPoint); err != nil {
+			return nil, err
+		}
+	}
+	s.scheduleNextArrival()
+	return s, nil
+}
+
+func (s *Sim) periodic() bool { return s.cfg.DecisionPeriod > 0 }
+
+// Now returns the current simulation time.
+func (s *Sim) Now() float64 { return s.k.Now() }
+
+// PendingEvents returns the kernel's live event count (O(1)); useful to
+// detect a drained simulation.
+func (s *Sim) PendingEvents() int { return s.k.Pending() }
+
+// FiredEvents returns the number of kernel events executed.
+func (s *Sim) FiredEvents() uint64 { return s.k.Fired() }
+
+// Run advances the simulation to the given time. It may be called
+// repeatedly with growing horizons; metrics accumulate.
+func (s *Sim) Run(until float64) error {
+	if until < s.k.Now() {
+		return fmt.Errorf("ctsim: horizon %v precedes current time %v", until, s.k.Now())
+	}
+	return s.k.Run(until)
+}
+
+// Metrics accrues energy and backlog up to the current clock and returns a
+// snapshot.
+func (s *Sim) Metrics() Metrics {
+	now := s.k.Now()
+	s.advance(now)
+	s.accrueBacklog(now)
+	m := s.metrics
+	m.Horizon = now
+	m.CostTotal = m.EnergyJ + s.cfg.LatencyWeight*m.BacklogSeconds
+	m.StateTime = append([]float64(nil), s.metrics.StateTime...)
+	return m
+}
+
+// Observe returns the current observation without advancing time.
+func (s *Sim) Observe() Observation { return s.observe(s.k.Now()) }
+
+func (s *Sim) observe(now float64) Observation {
+	o := Observation{
+		Phase:       s.phase,
+		TransTarget: s.transTarget,
+		Queue:       s.q.Len(),
+		IdleTime:    now - s.lastArrival,
+		Now:         now,
+	}
+	if s.transInProg {
+		o.Transitioning = true
+		o.TransRemaining = s.transEnd - now
+	}
+	return o
+}
+
+// advance integrates energy and state occupancy up to t, settling a
+// transition whose end lies in the integration window. Each settled
+// governor period contributes exactly one power×period product, so a
+// slot-compatible run sums the same terms in the same order as the
+// slotted simulator and the totals agree bit for bit.
+func (s *Sim) advance(t float64) {
+	if s.transInProg && s.transEnd <= t {
+		dt := s.transEnd - s.accrueT
+		if dt > 0 {
+			s.metrics.EnergyJ += s.transPower * dt
+			s.metrics.TransitionTime += dt
+		}
+		s.accrueT = s.transEnd
+		s.phase = s.transTarget
+		s.transInProg = false
+		s.settledAt = s.transEnd
+	}
+	dt := t - s.accrueT
+	if dt <= 0 {
+		return
+	}
+	if s.transInProg {
+		s.metrics.EnergyJ += s.transPower * dt
+		s.metrics.TransitionTime += dt
+	} else {
+		s.metrics.EnergyJ += s.cfg.Device.States[s.phase].Power * dt
+		s.metrics.StateTime[s.phase] += dt
+	}
+	s.accrueT = t
+}
+
+// accrueBacklog integrates the queue length up to t; call before any
+// queue mutation.
+func (s *Sim) accrueBacklog(t float64) {
+	if dt := t - s.backlogT; dt > 0 {
+		s.metrics.BacklogSeconds += float64(s.q.Len()) * dt
+	}
+	s.backlogT = t
+}
+
+// ---------------------------------------------------------------------------
+// Arrivals
+
+func (s *Sim) scheduleNextArrival() {
+	t := s.cfg.Source.Next(s.cfg.Stream)
+	if math.IsInf(t, 1) {
+		return // source exhausted
+	}
+	if t < s.k.Now() {
+		t = s.k.Now() // a lagging source clamps to the present
+	}
+	if _, err := s.k.Schedule(t, s.onArrival); err != nil {
+		// Only NaN can reach here given the clamp; drop the source.
+		return
+	}
+}
+
+func (s *Sim) onArrival(now float64) {
+	s.accrueBacklog(now)
+	s.metrics.Arrived++
+	if !s.q.Push(now) {
+		s.metrics.Lost++
+	}
+	s.lastArrival = now
+	s.scheduleNextArrival()
+	if !s.periodic() {
+		s.maybeStartService(now)
+		s.decisionPoint(now)
+	} else if !s.cfg.SlotCompatible {
+		s.maybeStartService(now)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sequential service
+
+// maybeStartService begins serving the queue head when the device is
+// settled in a servicing state and no request is in flight. No-op in
+// slot-compatible mode, where service happens in batches at ticks.
+func (s *Sim) maybeStartService(now float64) {
+	if s.cfg.SlotCompatible || s.serving || s.transInProg || s.q.Len() == 0 {
+		return
+	}
+	if !s.cfg.Device.States[s.phase].CanService {
+		return
+	}
+	s.serving = true
+	s.serveEv, _ = s.k.After(s.cfg.ServiceTime, s.onServeDone)
+}
+
+func (s *Sim) onServeDone(now float64) {
+	s.serving = false
+	s.serveEv = nil
+	s.accrueBacklog(now)
+	stamp := s.q.Pop()
+	s.metrics.Served++
+	s.metrics.WaitSeconds += now - stamp
+	s.maybeStartService(now)
+	if !s.periodic() {
+		s.decisionPoint(now)
+	}
+}
+
+// abortService cancels an in-flight request when the device leaves its
+// service state; the request stays at the queue head (its wait continues)
+// and restarts from scratch when service resumes.
+func (s *Sim) abortService() {
+	if !s.serving {
+		return
+	}
+	s.k.Cancel(s.serveEv)
+	s.serving = false
+	s.serveEv = nil
+}
+
+// ---------------------------------------------------------------------------
+// Transitions
+
+func (s *Sim) onTransDone(now float64) {
+	s.advance(now) // settles (idempotent if an earlier advance already did)
+	s.maybeStartService(now)
+	if !s.periodic() {
+		s.decisionPoint(now)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Decisions
+
+// tick is the periodic governor: batch service for the elapsed period (if
+// slot-compatible and the device was settled in a servicing state the
+// whole period), learner feedback for the closing interval, then a policy
+// decision — the exact per-slot order of the slotted simulator.
+func (s *Sim) tick(now float64) {
+	per := s.cfg.DecisionPeriod
+	eligible := s.cfg.SlotCompatible && !s.transInProg &&
+		now-s.settledAt >= per*(1-1e-9) &&
+		s.cfg.Device.States[s.phase].CanService
+	s.advance(now)
+	if eligible {
+		s.accrueBacklog(now)
+		for n := 0; n < s.cfg.BatchServe && s.q.Len() > 0; n++ {
+			stamp := s.q.Pop()
+			s.metrics.Served++
+			s.metrics.WaitSeconds += now - stamp
+		}
+	}
+	obs := s.observe(now)
+	s.emitFeedback(now, obs)
+	if s.transInProg {
+		s.lastAction = s.transTarget
+	} else {
+		s.decide(now, obs)
+		s.maybeStartService(now)
+	}
+	s.openEpoch(now, obs)
+	s.k.Schedule(now+per, s.tick)
+}
+
+// decisionPoint is the event-driven decision hook: consult the policy if
+// the device is settled (a transition in progress defers the decision to
+// its completion, preserving the SMDP epoch structure).
+func (s *Sim) decisionPoint(now float64) {
+	if s.transInProg {
+		return
+	}
+	s.advance(now)
+	obs := s.observe(now)
+	s.emitFeedback(now, obs)
+	s.decide(now, obs)
+	s.maybeStartService(now)
+	s.openEpoch(now, obs)
+}
+
+// emitFeedback closes the current learner epoch against obs.
+func (s *Sim) emitFeedback(now float64, obs Observation) {
+	if s.learner == nil || !s.haveEpoch {
+		return
+	}
+	backlog := s.metrics.BacklogSeconds
+	if dt := now - s.backlogT; dt > 0 {
+		backlog += float64(s.q.Len()) * dt
+	}
+	energy := s.metrics.EnergyJ - s.epochEnergy
+	cost := energy + s.cfg.LatencyWeight*(backlog-s.epochCost)
+	s.learner.Observe(Feedback{
+		Prev:    s.epochObs,
+		Action:  s.lastAction,
+		Sojourn: now - s.epochObs.Now,
+		Energy:  energy,
+		Cost:    cost,
+		Served:  int(s.metrics.Served - s.epochSrv),
+		Arrived: int(s.metrics.Arrived - s.epochArr),
+		Lost:    int(s.metrics.Lost - s.epochLost),
+		Next:    obs,
+	})
+}
+
+// openEpoch snapshots the bases for the next learner interval. It runs
+// after decide so instantaneous zero-latency transition energy charged by
+// the opening decision stays out of the interval's feedback (mirroring
+// slotsim, where per-slot feedback carries only the slot's energy).
+func (s *Sim) openEpoch(now float64, obs Observation) {
+	s.haveEpoch = true
+	s.epochObs = obs
+	s.epochEnergy = s.metrics.EnergyJ
+	backlog := s.metrics.BacklogSeconds
+	if dt := now - s.backlogT; dt > 0 {
+		backlog += float64(s.q.Len()) * dt
+	}
+	s.epochCost = backlog
+	s.epochArr = s.metrics.Arrived
+	s.epochSrv = s.metrics.Served
+	s.epochLost = s.metrics.Lost
+}
+
+// decide consults the policy and executes its command.
+func (s *Sim) decide(now float64, obs Observation) {
+	s.metrics.Decisions++
+	d := s.cfg.Policy.Decide(obs)
+	target := d.Target
+	s.lastAction = s.phase
+	dev := s.cfg.Device
+	if target != s.phase {
+		if int(target) >= 0 && int(target) < dev.NumStates() && dev.Trans[s.phase][target].Latency >= 0 {
+			tr := dev.Trans[s.phase][target]
+			s.metrics.Commands++
+			s.lastAction = target
+			if tr.Latency == 0 {
+				// Instant switch: full transition energy at the switch.
+				s.metrics.EnergyJ += tr.Energy
+				s.phase = target
+				s.transTarget = target
+				s.settledAt = now
+				if !dev.States[target].CanService {
+					s.abortService()
+				}
+			} else {
+				s.abortService()
+				s.transInProg = true
+				s.transTarget = target
+				s.transEnd = now + tr.Latency
+				s.transPower = tr.Energy / tr.Latency
+				s.k.Schedule(s.transEnd, s.onTransDone)
+			}
+		} else {
+			s.metrics.Clamped++
+		}
+	}
+	// Wake timer: at most one outstanding; each decision replaces it.
+	if s.wakeEv != nil {
+		s.k.Cancel(s.wakeEv)
+		s.wakeEv = nil
+	}
+	if d.Wake > 0 && !s.periodic() && !math.IsInf(d.Wake, 1) {
+		s.wakeEv, _ = s.k.After(d.Wake, s.onWake)
+	}
+}
+
+func (s *Sim) onWake(now float64) {
+	s.wakeEv = nil
+	s.decisionPoint(now)
+}
+
+// ---------------------------------------------------------------------------
+// timedQueue — bounded FIFO of arrival timestamps
+
+// timedQueue is the continuous-time analog of internal/queue: a bounded
+// ring of float64 arrival times. A capacity of 0 means unbounded.
+type timedQueue struct {
+	cap  int
+	buf  []float64
+	head int
+	n    int
+}
+
+func newTimedQueue(capacity int) *timedQueue {
+	initial := capacity
+	if initial == 0 {
+		initial = 16
+	}
+	return &timedQueue{cap: capacity, buf: make([]float64, initial)}
+}
+
+func (q *timedQueue) Len() int { return q.n }
+
+// Push enqueues one arrival stamp, reporting false when the queue is full.
+func (q *timedQueue) Push(stamp float64) bool {
+	if q.cap > 0 && q.n == q.cap {
+		return false
+	}
+	if q.n == len(q.buf) {
+		nb := make([]float64, 2*len(q.buf))
+		for i := 0; i < q.n; i++ {
+			nb[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf = nb
+		q.head = 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = stamp
+	q.n++
+	return true
+}
+
+// Pop dequeues the oldest stamp; it panics on an empty queue (programming
+// error — callers check Len).
+func (q *timedQueue) Pop() float64 {
+	if q.n == 0 {
+		panic("ctsim: pop from empty queue")
+	}
+	v := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return v
+}

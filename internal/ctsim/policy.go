@@ -1,0 +1,210 @@
+// Continuous-time decision interface, native baseline policies, and the
+// adapter that runs any slotted policy (including the Q-DPM learner)
+// unmodified in continuous time.
+package ctsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/policy"
+	"repro/internal/slotsim"
+)
+
+// Decision is a policy's command at a decision point.
+type Decision struct {
+	// Target is the desired power state.
+	Target device.StateID
+	// Wake > 0 requests a decision callback after Wake seconds even if no
+	// other event occurs (event-driven mode only; each decision replaces
+	// the previous request). Timeout-style policies use it to fire their
+	// shutdown exactly when the idle threshold crosses.
+	Wake float64
+}
+
+// Policy decides power-state commands in continuous time.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Decide returns the command for the coming interval. It is only
+	// called when the device is settled (not mid-transition).
+	Decide(obs Observation) Decision
+}
+
+// Learner is a Policy that adapts online from per-interval feedback.
+type Learner interface {
+	Policy
+	// Observe delivers the outcome of each decision interval.
+	Observe(fb Feedback)
+}
+
+// ---------------------------------------------------------------------------
+// Native continuous-time baselines
+
+// AlwaysOn keeps the device in its service state forever.
+type AlwaysOn struct{ wake device.StateID }
+
+// NewAlwaysOn derives the service state from the device.
+func NewAlwaysOn(psm *device.PSM) (*AlwaysOn, error) {
+	r, err := policy.DeriveRoles(psm)
+	if err != nil {
+		return nil, err
+	}
+	return &AlwaysOn{wake: r.Wake}, nil
+}
+
+// Name identifies the policy.
+func (p *AlwaysOn) Name() string { return "always-on" }
+
+// Decide always returns the service state.
+func (p *AlwaysOn) Decide(Observation) Decision { return Decision{Target: p.wake} }
+
+// GreedyOff sleeps the moment the queue is empty and wakes the moment it
+// is not. Arrivals and completions are the only relevant state changes, so
+// it needs no wake timer.
+type GreedyOff struct{ r policy.Roles }
+
+// NewGreedyOff derives role states from the device.
+func NewGreedyOff(psm *device.PSM) (*GreedyOff, error) {
+	r, err := policy.DeriveRoles(psm)
+	if err != nil {
+		return nil, err
+	}
+	return &GreedyOff{r: r}, nil
+}
+
+// Name identifies the policy.
+func (p *GreedyOff) Name() string { return "greedy-off" }
+
+// Decide wakes on backlog, sleeps otherwise.
+func (p *GreedyOff) Decide(obs Observation) Decision {
+	if obs.Queue > 0 {
+		return Decision{Target: p.r.Wake}
+	}
+	return Decision{Target: p.r.Deep}
+}
+
+// Timeout is the continuous-time fixed timeout: park shallow while idle,
+// drop to the deep state once the idle period exceeds Timeout seconds. In
+// event-driven mode it requests a wake timer for the exact expiry instant,
+// so the shutdown is not quantized to any grid.
+type Timeout struct {
+	r policy.Roles
+	// Timeout is the idle threshold in seconds.
+	Timeout float64
+}
+
+// NewTimeout validates the threshold (>= 0; 0 degenerates to greedy-off).
+func NewTimeout(psm *device.PSM, timeout float64) (*Timeout, error) {
+	if timeout < 0 || math.IsNaN(timeout) {
+		return nil, fmt.Errorf("ctsim: negative timeout %v", timeout)
+	}
+	r, err := policy.DeriveRoles(psm)
+	if err != nil {
+		return nil, err
+	}
+	return &Timeout{r: r, Timeout: timeout}, nil
+}
+
+// Name identifies the policy.
+func (p *Timeout) Name() string { return fmt.Sprintf("ct-timeout-%g", p.Timeout) }
+
+// Decide wakes on backlog; otherwise parks shallow until the timeout
+// expires, then deep, asking to be woken exactly at the expiry.
+func (p *Timeout) Decide(obs Observation) Decision {
+	if obs.Queue > 0 {
+		return Decision{Target: p.r.Wake}
+	}
+	if obs.IdleTime >= p.Timeout {
+		return Decision{Target: p.r.Deep}
+	}
+	d := Decision{Target: obs.Phase, Wake: p.Timeout - obs.IdleTime}
+	if obs.Phase == p.r.Wake {
+		d.Target = p.r.Shallow
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// Slotted-policy adapter
+
+// slotAdapter exposes a slotsim.Policy as a ctsim.Policy under a periodic
+// governor: continuous observations are quantized onto the reference slot
+// (idle seconds → saturating idle-slot count, clock → slot index), so the
+// slotted policy sees exactly the observation stream it was written for.
+type slotAdapter struct {
+	p    slotsim.Policy
+	slot float64
+	sat  int64
+}
+
+// slotLearnerAdapter additionally forwards per-interval feedback, so
+// slotted learners — the Q-DPM manager above all — run unmodified: the
+// manager's SMDP update sees one feedback per decision interval and its
+// γ^k discount over k intervals equals a discount over the actual sojourn
+// time k·slot seconds.
+type slotLearnerAdapter struct {
+	slotAdapter
+	l slotsim.Learner
+}
+
+// Adapt wraps a slotted policy for continuous time with the given
+// reference slot duration (seconds). The result implements Learner when p
+// does. Use it with Config.DecisionPeriod == refSlot: slotted policies
+// expect a decision per slot, so the periodic governor supplies their
+// cadence; event-driven mode would starve them. A non-positive or
+// non-finite refSlot is a programming error and panics.
+func Adapt(p slotsim.Policy, refSlot float64) Policy {
+	if !(refSlot > 0) || math.IsInf(refSlot, 0) {
+		panic(fmt.Sprintf("ctsim: Adapt requires a positive finite reference slot, got %v", refSlot))
+	}
+	a := slotAdapter{p: p, slot: refSlot, sat: 1024}
+	if l, ok := p.(slotsim.Learner); ok {
+		return &slotLearnerAdapter{slotAdapter: a, l: l}
+	}
+	return &a
+}
+
+// Name identifies the wrapped policy.
+func (a *slotAdapter) Name() string { return a.p.Name() }
+
+// sObs quantizes a continuous observation onto the reference slot grid.
+func (a *slotAdapter) sObs(o Observation) slotsim.Observation {
+	idle := int64(math.Floor(o.IdleTime/a.slot + 1e-9))
+	if idle > a.sat {
+		idle = a.sat
+	}
+	trem := 0
+	if o.Transitioning {
+		trem = int(math.Ceil(o.TransRemaining/a.slot - 1e-9))
+	}
+	return slotsim.Observation{
+		Phase:          o.Phase,
+		Transitioning:  o.Transitioning,
+		TransTarget:    o.TransTarget,
+		TransRemaining: trem,
+		Queue:          o.Queue,
+		IdleSlots:      idle,
+		Slot:           int64(math.Round(o.Now / a.slot)),
+	}
+}
+
+// Decide forwards the quantized observation.
+func (a *slotAdapter) Decide(o Observation) Decision {
+	return Decision{Target: a.p.Decide(a.sObs(o))}
+}
+
+// Observe forwards the interval outcome as one slot of feedback.
+func (a *slotLearnerAdapter) Observe(fb Feedback) {
+	a.l.Observe(slotsim.Feedback{
+		Prev:    a.sObs(fb.Prev),
+		Action:  fb.Action,
+		Energy:  fb.Energy,
+		Cost:    fb.Cost,
+		Served:  fb.Served,
+		Arrived: fb.Arrived,
+		Lost:    fb.Lost,
+		Next:    a.sObs(fb.Next),
+	})
+}

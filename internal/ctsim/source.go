@@ -1,0 +1,79 @@
+// Arrival sources: renewal processes over any continuous interarrival law
+// and trace playback.
+package ctsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Source emits successive absolute arrival times in seconds,
+// nondecreasing. It returns +Inf when exhausted. Sources carry a cursor;
+// build a fresh one per simulation.
+type Source interface {
+	// Next returns the next arrival time, drawing randomness from s.
+	Next(s *rng.Stream) float64
+	// String describes the source.
+	String() string
+}
+
+// RenewalSource draws i.i.d. interarrival gaps from a continuous law —
+// Poisson arrivals for Exponential, heavy-tailed renewal traffic for
+// Pareto or Weibull.
+type RenewalSource struct {
+	// D is the interarrival distribution in seconds.
+	D dist.Continuous
+
+	t float64
+}
+
+// NewRenewalSource validates the distribution.
+func NewRenewalSource(d dist.Continuous) (*RenewalSource, error) {
+	if d == nil {
+		return nil, fmt.Errorf("ctsim: renewal source needs a distribution")
+	}
+	return &RenewalSource{D: d}, nil
+}
+
+// Next advances by one sampled gap.
+func (r *RenewalSource) Next(s *rng.Stream) float64 {
+	r.t += r.D.Sample(s)
+	return r.t
+}
+
+func (r *RenewalSource) String() string { return fmt.Sprintf("renewal(%s)", r.D) }
+
+// TraceSource replays a recorded trace's arrival times. Multiple sources
+// may share one trace; each keeps its own cursor.
+type TraceSource struct {
+	times []float64
+	pos   int
+}
+
+// NewTraceSource validates the trace and wraps it.
+func NewTraceSource(tr *trace.Trace) (*TraceSource, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("ctsim: nil trace")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return &TraceSource{times: tr.Times}, nil
+}
+
+// Next returns the next recorded time, +Inf once exhausted. The stream is
+// untouched: playback is deterministic by construction.
+func (t *TraceSource) Next(*rng.Stream) float64 {
+	if t.pos >= len(t.times) {
+		return math.Inf(1)
+	}
+	v := t.times[t.pos]
+	t.pos++
+	return v
+}
+
+func (t *TraceSource) String() string { return fmt.Sprintf("trace(%d requests)", len(t.times)) }

@@ -169,6 +169,18 @@ func (p *PSM) Allowed(from, to StateID) bool {
 // NumStates returns the number of power states.
 func (p *PSM) NumStates() int { return len(p.States) }
 
+// MaxPower returns the power draw in watts of the hungriest state — the
+// always-on reference every energy-reduction figure normalizes against.
+func (p *PSM) MaxPower() float64 {
+	m := 0.0
+	for _, st := range p.States {
+		if st.Power > m {
+			m = st.Power
+		}
+	}
+	return m
+}
+
 // StateByName returns the StateID of the named state.
 func (p *PSM) StateByName(name string) (StateID, error) {
 	for i, st := range p.States {

@@ -220,6 +220,59 @@ func (u Uniform) Mean() float64 { return (u.A + u.B) / 2 }
 func (u Uniform) String() string { return fmt.Sprintf("Uniform[%g,%g)", u.A, u.B) }
 
 // ---------------------------------------------------------------------------
+// Named constructors
+
+// ByName builds one of the stock interarrival laws used by the trace
+// generator and the continuous-time experiments, calibrated so the mean
+// interarrival time is exactly 1/rate — i.e. every law produces `rate`
+// arrivals per second in the long run. This is the single source of truth
+// for the shape parameters; TestByNameMeansMatchRate audits every branch.
+func ByName(name string, rate float64) (Continuous, error) {
+	if !(rate > 0) || math.IsInf(rate, 1) {
+		return nil, fmt.Errorf("dist: rate %v must be positive and finite", rate)
+	}
+	mean := 1 / rate
+	switch name {
+	case "exp":
+		return NewExponential(rate)
+	case "pareto":
+		// Heavy tail with finite mean: alpha = 1.5, xm solved from the
+		// mean formula alpha·xm/(alpha-1) = mean.
+		const alpha = 1.5
+		return NewPareto(mean*(alpha-1)/alpha, alpha)
+	case "weibull":
+		// Heavier-than-exponential tail (k < 1), rescaled to the mean.
+		const k = 0.7
+		w, err := NewWeibull(1, k)
+		if err != nil {
+			return nil, err
+		}
+		w.Lambda = mean / w.Mean()
+		return w, nil
+	case "erlang":
+		// Three phases: smoother than exponential (CV = 1/sqrt(3)).
+		return NewErlang(3, 3*rate)
+	case "hyperexp":
+		// Two-phase hyperexponential, CV ≈ 1.24: with probability 0.3 a
+		// fast phase of mean mean/5, otherwise a slow phase calibrated so
+		// the mixture mean is exactly `mean`:
+		//   0.3·mean/5 + 0.7·(0.94·mean/0.7) = (0.06 + 0.94)·mean.
+		// (An earlier version used rates 5/mean and 0.5/mean, whose
+		// mixture mean is 1.46·mean — a ~32% arrival-rate error.)
+		return NewHyperExp(0.3, 5*rate, 0.7/(0.94*mean))
+	case "uniform":
+		return NewUniform(0, 2*mean)
+	default:
+		return nil, fmt.Errorf("dist: unknown distribution %q (want exp, pareto, weibull, erlang, hyperexp, or uniform)", name)
+	}
+}
+
+// Names lists the distributions ByName accepts, in display order.
+func Names() []string {
+	return []string{"exp", "pareto", "weibull", "erlang", "hyperexp", "uniform"}
+}
+
+// ---------------------------------------------------------------------------
 // Poisson
 
 // Poisson is the discrete counting law with mean Lambda per slot.

@@ -172,3 +172,60 @@ func mustUniform(t *testing.T, a, b float64) Uniform {
 	}
 	return d
 }
+
+// Every named law must have mean interarrival exactly 1/rate: the trace
+// generator advertises `-rate R` as "R arrivals per second", so a
+// miscalibrated mixture (the old hyperexp had mean 1.46/R) silently skews
+// every downstream experiment.
+func TestByNameMeansMatchRate(t *testing.T) {
+	for _, name := range Names() {
+		for _, rate := range []float64{0.25, 1, 2, 8} {
+			d, err := ByName(name, rate)
+			if err != nil {
+				t.Errorf("%s rate %g: %v", name, rate, err)
+				continue
+			}
+			want := 1 / rate
+			if got := d.Mean(); math.Abs(got-want) > 1e-12*want {
+				t.Errorf("%s rate %g: mean %v, want %v", name, rate, got, want)
+			}
+		}
+	}
+}
+
+// The hyperexponential must keep its defining property, CV > 1, after the
+// mean recalibration.
+func TestByNameHyperExpHighVariance(t *testing.T) {
+	d, err := ByName("hyperexp", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(5)
+	n := 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := d.Sample(s)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / float64(n)
+	cv := math.Sqrt(sumsq/float64(n)-mean*mean) / mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("empirical mean %v, want ~0.5", mean)
+	}
+	if cv < 1.1 {
+		t.Errorf("CV %v, want > 1.1 (high-variance mixture)", cv)
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("nope", 1); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if _, err := ByName("exp", 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := ByName("exp", -2); err == nil {
+		t.Error("negative rate accepted")
+	}
+}

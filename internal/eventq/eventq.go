@@ -74,6 +74,7 @@ type Kernel struct {
 	seq     uint64
 	stopped bool
 	fired   uint64
+	live    int // queued non-canceled events, kept exact by Schedule/Cancel/Step
 }
 
 // New returns a kernel with the clock at 0.
@@ -85,16 +86,11 @@ func (k *Kernel) Now() float64 { return k.now }
 // Fired returns the number of events executed so far.
 func (k *Kernel) Fired() uint64 { return k.fired }
 
-// Pending returns the number of queued (non-canceled) events.
-func (k *Kernel) Pending() int {
-	n := 0
-	for _, e := range k.heap {
-		if !e.canceled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of queued (non-canceled) events. It is O(1):
+// the kernel maintains a live-event counter so consumers that poll per
+// decision (ctsim) never pay for the lazily-deleted canceled entries still
+// sitting in the heap.
+func (k *Kernel) Pending() int { return k.live }
 
 // Schedule queues fn to run at time t. Scheduling in the past (t < Now) is
 // an error; scheduling exactly at Now is allowed and runs after currently
@@ -112,6 +108,7 @@ func (k *Kernel) Schedule(t float64, fn Handler) (*Event, error) {
 	e := &Event{time: t, seq: k.seq, fn: fn}
 	k.seq++
 	heap.Push(&k.heap, e)
+	k.live++
 	return e, nil
 }
 
@@ -126,14 +123,16 @@ func (k *Kernel) After(delay float64, fn Handler) (*Event, error) {
 // Cancel removes a pending event. Canceling an already-fired or already-
 // canceled event is a harmless no-op.
 func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.canceled {
+	if e == nil || e.canceled || e.index < 0 {
 		return
 	}
 	e.canceled = true
+	k.live--
 	// Lazy deletion: leave it in the heap; Step skips canceled events.
 }
 
-// Stop makes Run return after the current event completes.
+// Stop makes Run return after the current event completes, leaving the
+// clock at that event's time.
 func (k *Kernel) Stop() { k.stopped = true }
 
 // Step fires the earliest pending event. It returns false when the queue is
@@ -144,6 +143,7 @@ func (k *Kernel) Step() bool {
 		if e.canceled {
 			continue
 		}
+		k.live--
 		k.now = e.time
 		k.fired++
 		e.fn(k.now)
@@ -153,8 +153,11 @@ func (k *Kernel) Step() bool {
 }
 
 // Run executes events until the queue is empty, Stop is called, or the
-// clock would exceed horizon (events after the horizon remain queued; the
-// clock is advanced to exactly horizon).
+// clock would exceed horizon (events after the horizon remain queued). On
+// a natural exit — queue drained or next event past the horizon — the
+// clock advances to exactly horizon. A Stop exit leaves the clock at the
+// last fired event, so the caller can observe exactly how far the
+// simulation got and resume from there.
 func (k *Kernel) Run(horizon float64) error {
 	if horizon < k.now {
 		return fmt.Errorf("eventq: horizon %v precedes current time %v", horizon, k.now)
@@ -173,7 +176,7 @@ func (k *Kernel) Run(horizon float64) error {
 		}
 		k.Step()
 	}
-	if k.now < horizon {
+	if !k.stopped && k.now < horizon {
 		k.now = horizon
 	}
 	return nil

@@ -151,6 +151,81 @@ func TestStopInsideHandler(t *testing.T) {
 	}
 }
 
+// Regression: Run used to fast-forward the clock to the horizon even when
+// it exited via Stop, contradicting "Run returns after the current event
+// completes". A stopped run must leave the clock at the last fired event.
+func TestStopLeavesClockAtCurrentEvent(t *testing.T) {
+	k := New()
+	k.Schedule(1, func(float64) { k.Stop() })
+	k.Schedule(7, func(float64) {})
+	if err := k.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 1 {
+		t.Fatalf("clock after Stop at %v, want 1 (the stopping event's time)", k.Now())
+	}
+	// The run resumes cleanly: the remaining event fires and a natural
+	// exit advances the clock to the horizon.
+	if err := k.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if k.Fired() != 2 {
+		t.Fatalf("fired %d after resume, want 2", k.Fired())
+	}
+	if k.Now() != 10 {
+		t.Fatalf("clock after natural exit at %v, want 10", k.Now())
+	}
+}
+
+// Regression for the O(1) live-event counter: Pending must stay exact
+// through schedule/cancel/fire interleavings, including cancels of
+// already-fired and already-canceled events and lazily-deleted entries
+// swept by Run.
+func TestPendingCounterExact(t *testing.T) {
+	k := New()
+	var events []*Event
+	for i := 0; i < 6; i++ {
+		e, _ := k.Schedule(float64(i+1), func(float64) {})
+		events = append(events, e)
+	}
+	if p := k.Pending(); p != 6 {
+		t.Fatalf("Pending = %d, want 6", p)
+	}
+	k.Cancel(events[0])
+	k.Cancel(events[3])
+	k.Cancel(events[3]) // double-cancel: no-op
+	if p := k.Pending(); p != 4 {
+		t.Fatalf("Pending after cancels = %d, want 4", p)
+	}
+	if !k.Step() { // fires event 1 (event 0 lazily skipped)
+		t.Fatal("Step found nothing")
+	}
+	if p := k.Pending(); p != 3 {
+		t.Fatalf("Pending after Step = %d, want 3", p)
+	}
+	k.Cancel(events[1]) // already fired: no-op
+	if p := k.Pending(); p != 3 {
+		t.Fatalf("Pending after cancel-of-fired = %d, want 3", p)
+	}
+	k.Run(10)
+	if p := k.Pending(); p != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", p)
+	}
+	if k.Fired() != 4 {
+		t.Fatalf("Fired = %d, want 4", k.Fired())
+	}
+	// Cancel-only drain: Run sweeps lazily-deleted entries without firing.
+	e, _ := k.Schedule(20, func(float64) {})
+	k.Cancel(e)
+	if p := k.Pending(); p != 0 {
+		t.Fatalf("Pending after cancel-only = %d, want 0", p)
+	}
+	k.Run(30)
+	if k.Fired() != 4 {
+		t.Fatalf("canceled event fired (Fired = %d)", k.Fired())
+	}
+}
+
 func TestHandlerCanScheduleMore(t *testing.T) {
 	k := New()
 	count := 0

@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/ctsim"
+	"repro/internal/device"
+	"repro/internal/dist"
+)
+
+func ctTestScenario(t *testing.T, horizon float64) CTScenario {
+	t.Helper()
+	return CTScenario{
+		Name:          "ct-test",
+		Device:        device.Synthetic3(),
+		QueueCap:      CanonQueueCap,
+		LatencyWeight: CanonLatencyWeight / CanonSlotSeconds,
+		Horizon:       horizon,
+		Period:        CanonSlotSeconds,
+		Source: func() ctsim.Source {
+			d, err := dist.ByName("hyperexp", 0.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := ctsim.NewRenewalSource(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return src
+		},
+	}
+}
+
+// The ct experiment honours the same determinism contract as the slotted
+// one: a pooled replication is bit-identical to a serial one for every
+// worker count.
+func TestCTReplicatedBitIdenticalAcrossWorkers(t *testing.T) {
+	sc := ctTestScenario(t, 4000)
+	dev, err := CanonDevice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []uint64{1, 2, 3, 4, 5}
+	for _, pf := range []PolicyFactory{TimeoutFactory(dev, 8), QDPMFactory(dev)} {
+		serial, err := RunCTReplicatedCtx(context.Background(), sc, pf, seeds, Parallel{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled, err := RunCTReplicatedCtx(context.Background(), sc, pf, seeds, Parallel{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, pooled) {
+			t.Errorf("%s: pooled ct summary differs from serial:\n%+v\n%+v", pf.Name, serial, pooled)
+		}
+		if serial.Replicas != len(seeds) {
+			t.Errorf("%s: %d replicas pooled, want %d", pf.Name, serial.Replicas, len(seeds))
+		}
+	}
+}
+
+// The full ct table grid is likewise pool-invariant.
+func TestTableCTDeterministicAcrossWorkers(t *testing.T) {
+	seeds := []uint64{31, 32}
+	a, err := TableCTCtx(context.Background(), 0.2, 2000, seeds, Parallel{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TableCTCtx(context.Background(), 0.2, 2000, seeds, Parallel{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Fatalf("ct table rows differ across worker counts:\n%v\n%v", a.Rows, b.Rows)
+	}
+	if len(a.Rows) != 16 { // 4 workloads × 4 policies
+		t.Fatalf("ct table has %d rows, want 16", len(a.Rows))
+	}
+}
+
+// A cancelled context aborts a ct replica promptly with the context error.
+func TestRunCTOneCancellation(t *testing.T) {
+	sc := ctTestScenario(t, 1e9) // absurd horizon: must not complete
+	dev, err := CanonDevice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCTOneCtx(ctx, sc, TimeoutFactory(dev, 8), 1); err != context.Canceled {
+		t.Fatalf("cancelled ct run returned %v, want context.Canceled", err)
+	}
+}
+
+// Sanity of the ct scenario validation.
+func TestCTScenarioValidate(t *testing.T) {
+	sc := ctTestScenario(t, 100)
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*CTScenario){
+		func(s *CTScenario) { s.Device = nil },
+		func(s *CTScenario) { s.Source = nil },
+		func(s *CTScenario) { s.Horizon = 0 },
+		func(s *CTScenario) { s.Period = 0 },
+	}
+	for i, mut := range bad {
+		s := ctTestScenario(t, 100)
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad ct scenario %d accepted", i)
+		}
+	}
+}

@@ -29,7 +29,7 @@ func NewOracle(dev *device.Slotted, counts []int) (*Oracle, error) {
 	if len(counts) == 0 {
 		return nil, fmt.Errorf("policy: oracle needs a non-empty schedule")
 	}
-	r, err := deriveRoles(dev)
+	r, err := deriveRoles(dev.PSM)
 	if err != nil {
 		return nil, err
 	}

@@ -33,9 +33,32 @@ type roles struct {
 	deep    device.StateID
 }
 
-// deriveRoles computes the role states for a slotted device.
-func deriveRoles(dev *device.Slotted) (roles, error) {
-	psm := dev.PSM
+// Roles is the exported form of the wake/shallow/deep role derivation,
+// shared with the continuous-time policies in internal/ctsim (which manage
+// the physical PSM directly rather than a slotted form).
+type Roles struct {
+	// Wake is the first servicing state.
+	Wake device.StateID
+	// Shallow is the hungriest non-servicing parking state reachable from
+	// Wake (and back).
+	Shallow device.StateID
+	// Deep is the thriftiest such parking state.
+	Deep device.StateID
+}
+
+// DeriveRoles computes the role states of a PSM: wake = first servicing
+// state; candidates are non-servicing states with an allowed round trip to
+// wake; deep is the thriftiest candidate and shallow the hungriest.
+func DeriveRoles(psm *device.PSM) (Roles, error) {
+	r, err := deriveRoles(psm)
+	if err != nil {
+		return Roles{}, err
+	}
+	return Roles{Wake: r.wake, Shallow: r.shallow, Deep: r.deep}, nil
+}
+
+// deriveRoles computes the role states for a PSM.
+func deriveRoles(psm *device.PSM) (roles, error) {
 	var r roles
 	found := false
 	for i, st := range psm.States {
@@ -81,7 +104,7 @@ var _ slotsim.Policy = (*AlwaysOn)(nil)
 
 // NewAlwaysOn derives the service state from the device.
 func NewAlwaysOn(dev *device.Slotted) (*AlwaysOn, error) {
-	r, err := deriveRoles(dev)
+	r, err := deriveRoles(dev.PSM)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +128,7 @@ var _ slotsim.Policy = (*GreedyOff)(nil)
 
 // NewGreedyOff derives role states from the device.
 func NewGreedyOff(dev *device.Slotted) (*GreedyOff, error) {
-	r, err := deriveRoles(dev)
+	r, err := deriveRoles(dev.PSM)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +162,7 @@ func NewFixedTimeout(dev *device.Slotted, timeoutSlots int64) (*FixedTimeout, er
 	if timeoutSlots < 0 {
 		return nil, fmt.Errorf("policy: negative timeout %d", timeoutSlots)
 	}
-	r, err := deriveRoles(dev)
+	r, err := deriveRoles(dev.PSM)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +208,7 @@ func NewAdaptiveTimeout(dev *device.Slotted, initial, min, max int64) (*Adaptive
 	if min < 0 || max < min || initial < min || initial > max {
 		return nil, fmt.Errorf("policy: adaptive timeout bounds invalid: initial=%d min=%d max=%d", initial, min, max)
 	}
-	r, err := deriveRoles(dev)
+	r, err := deriveRoles(dev.PSM)
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +290,7 @@ func NewPredictive(dev *device.Slotted, alpha float64) (*Predictive, error) {
 	if !(alpha > 0) || alpha > 1 {
 		return nil, fmt.Errorf("policy: predictive alpha %v out of (0,1]", alpha)
 	}
-	r, err := deriveRoles(dev)
+	r, err := deriveRoles(dev.PSM)
 	if err != nil {
 		return nil, err
 	}

@@ -41,7 +41,7 @@ func runPolicy(t *testing.T, dev *device.Slotted, pol slotsim.Policy, p float64,
 
 func TestDeriveRolesSynthetic(t *testing.T) {
 	dev := synthDev(t)
-	r, err := deriveRoles(dev)
+	r, err := deriveRoles(dev.PSM)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestDeriveRolesHDD(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := deriveRoles(dev)
+	r, err := deriveRoles(dev.PSM)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"strconv"
 	"strings"
 
@@ -202,6 +203,22 @@ func ReadText(r io.Reader) (*Trace, error) {
 		return nil, err
 	}
 	return tr, nil
+}
+
+// ReadFile loads a trace from disk in either codec, keyed on the file
+// suffix: ".bin" selects the binary format, anything else the text
+// format. This is the one place the suffix convention lives; qdpm-trace
+// and qdpm-sim both read through it.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return ReadBinary(f)
+	}
+	return ReadText(f)
 }
 
 // ---------------------------------------------------------------------------

@@ -272,3 +272,81 @@ func TestCodecRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// An empty trace must round-trip through the text codec (header only).
+func TestTextEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Trace{}).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("empty text round trip gave %d records", got.Len())
+	}
+}
+
+// The binary reader must reject payloads that decode to invalid traces:
+// NaN, negative, and unsorted timestamps. WriteBinary does not validate,
+// so a corrupted or hand-built file exercises the read-side guard.
+func TestBinaryRejectsInvalidPayload(t *testing.T) {
+	bad := map[string]*Trace{
+		"nan":      {Times: []float64{1, math.NaN()}},
+		"negative": {Times: []float64{-1}},
+		"unsorted": {Times: []float64{2, 1}},
+		"inf":      {Times: []float64{math.Inf(1)}},
+	}
+	for name, tr := range bad {
+		var buf bytes.Buffer
+		if err := tr.WriteBinary(&buf); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		if _, err := ReadBinary(&buf); err == nil {
+			t.Errorf("%s payload accepted by ReadBinary", name)
+		}
+	}
+}
+
+// Property: converting text→binary→text preserves the parsed timestamps
+// exactly (the binary leg is bit-exact; only the initial text rendering
+// rounds).
+func TestConvertCycleProperty(t *testing.T) {
+	d, _ := dist.NewExponential(2)
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw % 40)
+		tr, err := Generate(d, n, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		var tb bytes.Buffer
+		if tr.WriteText(&tb) != nil {
+			return false
+		}
+		parsed, err := ReadText(&tb)
+		if err != nil {
+			return false
+		}
+		var bb bytes.Buffer
+		if parsed.WriteBinary(&bb) != nil {
+			return false
+		}
+		back, err := ReadBinary(&bb)
+		if err != nil {
+			return false
+		}
+		if back.Len() != parsed.Len() {
+			return false
+		}
+		for i := range parsed.Times {
+			if back.Times[i] != parsed.Times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
