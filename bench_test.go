@@ -15,6 +15,9 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/ctsim"
+	"repro/internal/device"
+	"repro/internal/dist"
 	"repro/internal/engine"
 	"repro/internal/experiment"
 	"repro/internal/mdp"
@@ -297,6 +300,66 @@ func BenchmarkQDPMReplicaSlots(b *testing.B) {
 	b.ResetTimer()
 	if _, err := experiment.RunOne(sc, pf, 1, nil); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// benchCTScenario is the shared continuous-time workload: Poisson
+// arrivals on the synthetic 3-state device under the canonical 0.5 s
+// governor, the Table CT cell shape.
+func benchCTScenario(b *testing.B, horizon float64) (experiment.CTScenario, experiment.PolicyFactory) {
+	b.Helper()
+	psm := device.Synthetic3()
+	dev, err := experiment.CanonDevice()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := experiment.CTScenario{
+		Name:          "bench-ct",
+		Device:        psm,
+		QueueCap:      experiment.CanonQueueCap,
+		LatencyWeight: experiment.CanonLatencyWeight / experiment.CanonSlotSeconds,
+		Horizon:       horizon,
+		Period:        experiment.CanonSlotSeconds,
+		Source: func() ctsim.Source {
+			d, err := dist.NewExponential(0.2)
+			if err != nil {
+				panic(err)
+			}
+			src, err := ctsim.NewRenewalSource(d)
+			if err != nil {
+				panic(err)
+			}
+			return src
+		},
+	}
+	return sc, experiment.TimeoutFactory(dev, 8)
+}
+
+// BenchmarkCTReplicaTableCell measures one full Table CT replica through
+// the experiment layer (policy build + adapter + ctsim run + metrics).
+func BenchmarkCTReplicaTableCell(b *testing.B) {
+	sc, pf := benchCTScenario(b, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunCTOne(sc, pf, 31); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCTReplicatedPooled runs an 8-seed CT replication through the
+// worker pool — the path where per-worker simulator reuse pays off.
+func BenchmarkCTReplicatedPooled(b *testing.B) {
+	sc, pf := benchCTScenario(b, 2048)
+	seeds := engine.DeriveSeeds(9, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunCTReplicatedCtx(context.Background(), sc, pf, seeds,
+			experiment.Parallel{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,200 @@
+package ctsim_test
+
+import (
+	"testing"
+
+	"repro/internal/ctsim"
+	"repro/internal/device"
+	"repro/internal/rng"
+)
+
+// TestMetricsSnapshotsDoNotAlias pins the snapshot contract: consecutive
+// Metrics calls own independent StateTime slices — mutating one snapshot
+// perturbs neither the other nor the simulator's own accumulator.
+// Regression for the append([]float64(nil), ...) era, when a snapshot was
+// fresh by construction; the reuse path must not reintroduce sharing.
+func TestMetricsSnapshotsDoNotAlias(t *testing.T) {
+	psm := device.Synthetic3()
+	pol, err := ctsim.NewTimeout(psm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := ctsim.New(ctsim.Config{
+		Device: psm, QueueCap: 8, Policy: pol,
+		Source: expSource(t, 0.4), Stream: rng.New(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	a := sim.Metrics()
+	b := sim.Metrics()
+	if &a.StateTime[0] == &b.StateTime[0] {
+		t.Fatal("consecutive snapshots share a StateTime backing array")
+	}
+	orig := b.StateTime[0]
+	a.StateTime[0] = -1e9
+	if b.StateTime[0] != orig {
+		t.Fatal("mutating one snapshot changed the other")
+	}
+	if err := sim.Run(600); err != nil {
+		t.Fatal(err)
+	}
+	c := sim.Metrics()
+	if c.StateTime[0] < 0 {
+		t.Fatal("mutating a snapshot corrupted the simulator's accumulator")
+	}
+}
+
+// TestMetricsIntoReusesScratch: the MetricsInto path recycles the caller's
+// StateTime backing array, matches Metrics exactly, and still does not
+// alias simulator state.
+func TestMetricsIntoReusesScratch(t *testing.T) {
+	psm := device.Synthetic3()
+	pol, err := ctsim.NewTimeout(psm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := ctsim.New(ctsim.Config{
+		Device: psm, QueueCap: 8, Policy: pol,
+		Source: expSource(t, 0.4), Stream: rng.New(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Metrics()
+	var scratch ctsim.Metrics
+	sim.MetricsInto(&scratch)
+	backing := &scratch.StateTime[0]
+	if scratch.EnergyJ != want.EnergyJ || scratch.Served != want.Served ||
+		scratch.BacklogSeconds != want.BacklogSeconds || scratch.Horizon != want.Horizon {
+		t.Fatalf("MetricsInto diverged from Metrics: %+v vs %+v", scratch, want)
+	}
+	for i := range want.StateTime {
+		if scratch.StateTime[i] != want.StateTime[i] {
+			t.Fatalf("StateTime[%d] = %v, want %v", i, scratch.StateTime[i], want.StateTime[i])
+		}
+	}
+	// Second fill reuses the same backing array...
+	if err := sim.Run(800); err != nil {
+		t.Fatal(err)
+	}
+	sim.MetricsInto(&scratch)
+	if &scratch.StateTime[0] != backing {
+		t.Fatal("MetricsInto reallocated a sufficient scratch buffer")
+	}
+	// ...and writing through the scratch must not reach the simulator.
+	scratch.StateTime[0] = -1e9
+	if sim.Metrics().StateTime[0] < 0 {
+		t.Fatal("MetricsInto scratch aliases simulator state")
+	}
+}
+
+// TestResetMatchesFresh: a Reset simulator must reproduce a fresh New
+// simulator bit for bit — this is what licenses per-worker Sim reuse in
+// the experiment layer's replica grids.
+func TestResetMatchesFresh(t *testing.T) {
+	psm := device.Synthetic3()
+	cfg := func(t *testing.T, seed uint64) ctsim.Config {
+		pol, err := ctsim.NewTimeout(psm, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctsim.Config{
+			Device: psm, QueueCap: 8, LatencyWeight: 0.6, Policy: pol,
+			Source: expSource(t, 0.25), Stream: rng.New(seed),
+		}
+	}
+	fresh := func(seed uint64) ctsim.Metrics {
+		sim, err := ctsim.New(cfg(t, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(3000); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Metrics()
+	}
+	// One reused Sim runs the same replica sequence.
+	sim, err := ctsim.New(cfg(t, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{7, 8, 7} {
+		if err := sim.Reset(cfg(t, seed)); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(3000); err != nil {
+			t.Fatal(err)
+		}
+		got, want := sim.Metrics(), fresh(seed)
+		if got.EnergyJ != want.EnergyJ || got.Served != want.Served ||
+			got.Arrived != want.Arrived || got.Lost != want.Lost ||
+			got.BacklogSeconds != want.BacklogSeconds || got.Commands != want.Commands ||
+			got.Decisions != want.Decisions || got.WaitSeconds != want.WaitSeconds {
+			t.Fatalf("seed %d: reused sim diverged from fresh:\n got %+v\nwant %+v", seed, got, want)
+		}
+		for i := range want.StateTime {
+			if got.StateTime[i] != want.StateTime[i] {
+				t.Fatalf("seed %d: StateTime[%d] = %v, want %v", seed, i, got.StateTime[i], want.StateTime[i])
+			}
+		}
+	}
+}
+
+// TestCTHotPathAllocationFree is the continuous-time analog of core's
+// slotted-path gate: after warm-up (arena grown to its standing event
+// population, queue ring sized), the event loop — arrivals, service,
+// transitions, governor ticks, wake timers — performs no heap
+// allocations. This is the allocation-regression gate CI relies on.
+func TestCTHotPathAllocationFree(t *testing.T) {
+	psm := device.Synthetic3()
+	for _, tc := range []struct {
+		name     string
+		governor bool
+	}{
+		{"governor", true},
+		{"event-driven", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ctsim.Config{
+				Device: psm, QueueCap: 8, LatencyWeight: 0.6,
+				Source: expSource(t, 1.5), Stream: rng.New(4),
+			}
+			if tc.governor {
+				cfg.DecisionPeriod = 0.5
+				cfg.Policy = ctsim.Adapt(benchTimeout{deep: device.StateID(psm.NumStates() - 1), slots: 8}, 0.5)
+			} else {
+				pol, err := ctsim.NewTimeout(psm, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Policy = pol
+			}
+			sim, err := ctsim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sim.Run(2000); err != nil { // warm up
+				t.Fatal(err)
+			}
+			horizon := 2000.0
+			var scratch ctsim.Metrics
+			avg := testing.AllocsPerRun(10, func() {
+				horizon += 500
+				if err := sim.Run(horizon); err != nil {
+					t.Fatal(err)
+				}
+				sim.MetricsInto(&scratch)
+			})
+			if avg > 0 {
+				t.Errorf("%s event loop allocates: %.1f allocs per 500 simulated seconds, want 0", tc.name, avg)
+			}
+		})
+	}
+}

@@ -232,12 +232,30 @@ func (m *Metrics) LossRate() float64 {
 }
 
 // Sim is a single continuous-time simulation instance. Create with New,
-// drive with Run; not safe for concurrent use.
+// drive with Run; not safe for concurrent use. Reset reinitializes an
+// existing Sim for a new replica, reusing its buffers.
+//
+// The event loop is allocation-free in steady state: handlers are bound
+// once at construction (no per-Schedule closure), the kernel recycles
+// event slots through its arena free list (the tick, wake, arrival,
+// service, and transition events each cycle through their own recycled
+// slot), and the timed queue is a growth-amortized power-of-two ring.
+// BenchmarkCTReplica* and TestCTHotPathAllocationFree guard this.
 type Sim struct {
 	cfg     Config
 	k       *eventq.Kernel
 	q       *timedQueue
 	learner Learner
+
+	// Pre-bound event handlers: method values are closures, so binding
+	// them once here keeps every Schedule call on the hot path from
+	// allocating a fresh one.
+	hArrival   eventq.Handler
+	hTick      eventq.Handler
+	hDecision  eventq.Handler
+	hServeDone eventq.Handler
+	hTransDone eventq.Handler
+	hWake      eventq.Handler
 
 	// Device state.
 	phase       device.StateID
@@ -256,10 +274,10 @@ type Sim struct {
 
 	// Sequential service.
 	serving bool
-	serveEv *eventq.Event
+	serveEv eventq.Ref
 
 	// Policy wake timer (event-driven mode).
-	wakeEv *eventq.Event
+	wakeEv eventq.Ref
 
 	// Learner epoch bases.
 	haveEpoch   bool
@@ -276,33 +294,85 @@ type Sim struct {
 // New validates cfg and returns a simulator with its initial events (the
 // first arrival and the first decision) scheduled at the kernel.
 func New(cfg Config) (*Sim, error) {
-	if err := cfg.validate(); err != nil {
+	s := &Sim{k: eventq.New()}
+	s.hArrival = s.onArrival
+	s.hTick = s.tick
+	s.hDecision = s.decisionPoint
+	s.hServeDone = s.onServeDone
+	s.hTransDone = s.onTransDone
+	s.hWake = s.onWake
+	if err := s.init(cfg); err != nil {
 		return nil, err
 	}
-	s := &Sim{
-		cfg:        cfg,
-		k:          eventq.New(),
-		q:          newTimedQueue(cfg.QueueCap),
-		phase:      cfg.InitialState,
-		lastAction: cfg.InitialState,
+	return s, nil
+}
+
+// Reset reinitializes s for a new replica under cfg, reusing the kernel's
+// event arena, the queue ring, and the StateTime buffer. A Reset simulator
+// is behaviorally bit-identical to a fresh New(cfg) one — workers that run
+// replicas back to back use it to keep replica turnover off the allocator.
+func (s *Sim) Reset(cfg Config) error { return s.init(cfg) }
+
+// init validates cfg and (re)sets every piece of run state, then schedules
+// the initial events.
+func (s *Sim) init(cfg Config) error {
+	if err := cfg.validate(); err != nil {
+		return err
 	}
-	s.metrics.StateTime = make([]float64, cfg.Device.NumStates())
+	s.cfg = cfg
+	s.k.Reset()
+	if s.q == nil {
+		s.q = newTimedQueue(cfg.QueueCap)
+	} else {
+		s.q.reset(cfg.QueueCap)
+	}
+	n := cfg.Device.NumStates()
+	st := s.metrics.StateTime
+	if cap(st) < n {
+		st = make([]float64, n)
+	}
+	st = st[:n]
+	for i := range st {
+		st[i] = 0
+	}
+	s.metrics = Metrics{StateTime: st}
+	s.phase = cfg.InitialState
+	s.transInProg = false
+	s.transTarget = 0
+	s.transEnd = 0
+	s.transPower = 0
+	s.settledAt = 0
+	s.accrueT = 0
+	s.backlogT = 0
+	s.lastArrival = 0
+	s.lastAction = cfg.InitialState
+	s.serving = false
+	s.serveEv = eventq.Ref{}
+	s.wakeEv = eventq.Ref{}
+	s.haveEpoch = false
+	s.epochObs = Observation{}
+	s.epochEnergy = 0
+	s.epochCost = 0
+	s.epochArr = 0
+	s.epochSrv = 0
+	s.epochLost = 0
+	s.learner = nil
 	if l, ok := cfg.Policy.(Learner); ok {
 		s.learner = l
 	}
 	// The first decision fires before any time-0 arrival: it is scheduled
 	// first, and the kernel breaks ties FIFO.
 	if s.periodic() {
-		if _, err := s.k.Schedule(0, s.tick); err != nil {
-			return nil, err
+		if _, err := s.k.Schedule(0, s.hTick); err != nil {
+			return err
 		}
 	} else {
-		if _, err := s.k.Schedule(0, s.decisionPoint); err != nil {
-			return nil, err
+		if _, err := s.k.Schedule(0, s.hDecision); err != nil {
+			return err
 		}
 	}
 	s.scheduleNextArrival()
-	return s, nil
+	return nil
 }
 
 func (s *Sim) periodic() bool { return s.cfg.DecisionPeriod > 0 }
@@ -312,7 +382,7 @@ func (s *Sim) Now() float64 { return s.k.Now() }
 
 // PendingEvents returns the kernel's live event count (O(1)); useful to
 // detect a drained simulation.
-func (s *Sim) PendingEvents() int { return s.k.Pending() }
+func (s *Sim) PendingEvents() int { return s.k.Len() }
 
 // FiredEvents returns the number of kernel events executed.
 func (s *Sim) FiredEvents() uint64 { return s.k.Fired() }
@@ -327,16 +397,34 @@ func (s *Sim) Run(until float64) error {
 }
 
 // Metrics accrues energy and backlog up to the current clock and returns a
-// snapshot.
+// snapshot. The snapshot owns its StateTime slice — it never aliases the
+// simulator's internal accumulator or a previous snapshot.
 func (s *Sim) Metrics() Metrics {
+	var m Metrics
+	s.MetricsInto(&m)
+	return m
+}
+
+// MetricsInto is the reuse path of Metrics: it accrues up to the current
+// clock and writes the snapshot into *out, recycling out's StateTime
+// backing array when it has the capacity (so per-replica metric collection
+// with a caller-provided scratch performs no allocation). The written
+// snapshot never aliases simulator state.
+func (s *Sim) MetricsInto(out *Metrics) {
 	now := s.k.Now()
 	s.advance(now)
 	s.accrueBacklog(now)
-	m := s.metrics
-	m.Horizon = now
-	m.CostTotal = m.EnergyJ + s.cfg.LatencyWeight*m.BacklogSeconds
-	m.StateTime = append([]float64(nil), s.metrics.StateTime...)
-	return m
+	st := out.StateTime
+	*out = s.metrics
+	n := len(s.metrics.StateTime)
+	if cap(st) < n {
+		st = make([]float64, n)
+	}
+	st = st[:n]
+	copy(st, s.metrics.StateTime)
+	out.StateTime = st
+	out.Horizon = now
+	out.CostTotal = out.EnergyJ + s.cfg.LatencyWeight*out.BacklogSeconds
 }
 
 // Observe returns the current observation without advancing time.
@@ -408,7 +496,7 @@ func (s *Sim) scheduleNextArrival() {
 	if t < s.k.Now() {
 		t = s.k.Now() // a lagging source clamps to the present
 	}
-	if _, err := s.k.Schedule(t, s.onArrival); err != nil {
+	if _, err := s.k.Schedule(t, s.hArrival); err != nil {
 		// Only NaN can reach here given the clamp; drop the source.
 		return
 	}
@@ -444,12 +532,12 @@ func (s *Sim) maybeStartService(now float64) {
 		return
 	}
 	s.serving = true
-	s.serveEv, _ = s.k.After(s.cfg.ServiceTime, s.onServeDone)
+	s.serveEv, _ = s.k.After(s.cfg.ServiceTime, s.hServeDone)
 }
 
 func (s *Sim) onServeDone(now float64) {
 	s.serving = false
-	s.serveEv = nil
+	s.serveEv = eventq.Ref{}
 	s.accrueBacklog(now)
 	stamp := s.q.Pop()
 	s.metrics.Served++
@@ -469,7 +557,7 @@ func (s *Sim) abortService() {
 	}
 	s.k.Cancel(s.serveEv)
 	s.serving = false
-	s.serveEv = nil
+	s.serveEv = eventq.Ref{}
 }
 
 // ---------------------------------------------------------------------------
@@ -513,7 +601,7 @@ func (s *Sim) tick(now float64) {
 		s.maybeStartService(now)
 	}
 	s.openEpoch(now, obs)
-	s.k.Schedule(now+per, s.tick)
+	s.k.Schedule(now+per, s.hTick)
 }
 
 // decisionPoint is the event-driven decision hook: consult the policy if
@@ -559,7 +647,13 @@ func (s *Sim) emitFeedback(now float64, obs Observation) {
 // after decide so instantaneous zero-latency transition energy charged by
 // the opening decision stays out of the interval's feedback (mirroring
 // slotsim, where per-slot feedback carries only the slot's energy).
+// Without a learner there is no feedback consumer, so the snapshot is
+// skipped entirely — baseline policies pay nothing for the epoch
+// machinery.
 func (s *Sim) openEpoch(now float64, obs Observation) {
+	if s.learner == nil {
+		return
+	}
 	s.haveEpoch = true
 	s.epochObs = obs
 	s.epochEnergy = s.metrics.EnergyJ
@@ -600,24 +694,35 @@ func (s *Sim) decide(now float64, obs Observation) {
 				s.transTarget = target
 				s.transEnd = now + tr.Latency
 				s.transPower = tr.Energy / tr.Latency
-				s.k.Schedule(s.transEnd, s.onTransDone)
+				s.k.Schedule(s.transEnd, s.hTransDone)
 			}
 		} else {
 			s.metrics.Clamped++
 		}
 	}
 	// Wake timer: at most one outstanding; each decision replaces it.
-	if s.wakeEv != nil {
-		s.k.Cancel(s.wakeEv)
-		s.wakeEv = nil
-	}
+	// Cancel tolerates the zero Ref and already-fired events, so no guard
+	// is needed — the canceled slot is recycled by the next Schedule.
+	s.k.Cancel(s.wakeEv)
+	s.wakeEv = eventq.Ref{}
 	if d.Wake > 0 && !s.periodic() && !math.IsInf(d.Wake, 1) {
-		s.wakeEv, _ = s.k.After(d.Wake, s.onWake)
+		// A wake must strictly advance the clock. A threshold-style policy
+		// re-arms with Wake = threshold - elapsed; when the timer lands an
+		// ulp below its threshold, now + Wake can round back to exactly
+		// now, and a same-instant wake would re-observe the same state and
+		// re-arm forever (a float livelock, not a logic loop). Bumping to
+		// the next representable instant preserves the intended fire time
+		// to the last ulp and guarantees progress.
+		t := now + d.Wake
+		if t <= now {
+			t = math.Nextafter(now, math.Inf(1))
+		}
+		s.wakeEv, _ = s.k.Schedule(t, s.hWake)
 	}
 }
 
 func (s *Sim) onWake(now float64) {
-	s.wakeEv = nil
+	s.wakeEv = eventq.Ref{}
 	s.decisionPoint(now)
 }
 
@@ -625,20 +730,31 @@ func (s *Sim) onWake(now float64) {
 // timedQueue — bounded FIFO of arrival timestamps
 
 // timedQueue is the continuous-time analog of internal/queue: a bounded
-// ring of float64 arrival times. A capacity of 0 means unbounded.
+// ring of float64 arrival times with a power-of-two backing array, so the
+// hot-path index wrap is a mask instead of a division. Growth doubles the
+// ring (amortized O(1), and only until the high-water mark — steady state
+// never allocates). A capacity of 0 means unbounded.
 type timedQueue struct {
 	cap  int
-	buf  []float64
+	buf  []float64 // len is always a power of two
 	head int
 	n    int
 }
 
 func newTimedQueue(capacity int) *timedQueue {
-	initial := capacity
-	if initial == 0 {
-		initial = 16
+	q := &timedQueue{}
+	q.reset(capacity)
+	return q
+}
+
+// reset empties the queue for a new replica, keeping the grown ring.
+func (q *timedQueue) reset(capacity int) {
+	q.cap = capacity
+	q.head = 0
+	q.n = 0
+	if len(q.buf) == 0 {
+		q.buf = make([]float64, 16)
 	}
-	return &timedQueue{cap: capacity, buf: make([]float64, initial)}
 }
 
 func (q *timedQueue) Len() int { return q.n }
@@ -649,14 +765,15 @@ func (q *timedQueue) Push(stamp float64) bool {
 		return false
 	}
 	if q.n == len(q.buf) {
+		// Full ring: every slot is live, oldest at head. Unroll into a
+		// doubled buffer with two contiguous copies.
 		nb := make([]float64, 2*len(q.buf))
-		for i := 0; i < q.n; i++ {
-			nb[i] = q.buf[(q.head+i)%len(q.buf)]
-		}
+		m := copy(nb, q.buf[q.head:])
+		copy(nb[m:], q.buf[:q.head])
 		q.buf = nb
 		q.head = 0
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = stamp
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = stamp
 	q.n++
 	return true
 }
@@ -668,7 +785,7 @@ func (q *timedQueue) Pop() float64 {
 		panic("ctsim: pop from empty queue")
 	}
 	v := q.buf[q.head]
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.n--
 	return v
 }

@@ -47,6 +47,12 @@ type Pool struct {
 	Progress func(done, total int)
 }
 
+// Size reports the number of workers Map and MapWorkers will actually
+// use for n jobs — and therefore the exclusive upper bound on the worker
+// indices a MapWorkers fn observes. Callers preallocate per-worker
+// scratch state with it.
+func (p *Pool) Size(n int) int { return p.workers(n) }
+
 // workers resolves the effective worker count for n jobs.
 func (p *Pool) workers(n int) int {
 	w := 0
@@ -91,6 +97,19 @@ func (e *PanicError) Error() string {
 // returns ctx's error. Map only returns once every started job has
 // finished, so no worker goroutines outlive the call.
 func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapWorkers(ctx, p, n, func(ctx context.Context, _, i int) (T, error) {
+		return fn(ctx, i)
+	})
+}
+
+// MapWorkers is Map with worker identity: fn additionally receives the
+// index (in [0, p.Size(n))) of the worker goroutine executing the job.
+// Jobs that run on the same worker run sequentially, so fn may keep
+// mutable per-worker scratch state — reusable simulators, metric
+// buffers — indexed by worker without any locking. Determinism caveat:
+// which jobs share a worker depends on scheduling, so per-worker state
+// must never influence results (reuse buffers, not randomness).
+func MapWorkers[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, worker, i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("engine: negative job count %d", n)
 	}
@@ -129,13 +148,13 @@ func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context
 		mu.Unlock()
 	}
 
-	runJob := func(i int) {
+	runJob := func(worker, i int) {
 		defer func() {
 			if v := recover(); v != nil {
 				fail(&PanicError{Index: i, Value: v, Stack: debug.Stack()})
 			}
 		}()
-		v, err := fn(ctx, i)
+		v, err := fn(ctx, worker, i)
 		if err != nil {
 			fail(fmt.Errorf("engine: job %d: %w", i, err))
 			return
@@ -146,14 +165,14 @@ func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context
 
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for w := p.workers(n); w > 0; w-- {
+	for w := p.workers(n) - 1; w >= 0; w-- {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range jobs {
-				runJob(i)
+				runJob(worker, i)
 			}
-		}()
+		}(w)
 	}
 dispatch:
 	for i := 0; i < n; i++ {

@@ -211,3 +211,79 @@ func TestPoolWorkersResolution(t *testing.T) {
 		t.Errorf("explicit workers ignored: %d", w)
 	}
 }
+
+// MapWorkers: worker indices stay in [0, Size(n)), jobs sharing a worker
+// run sequentially (per-worker scratch needs no locking), and every job
+// runs exactly once with index-ordered results.
+func TestMapWorkersIdentity(t *testing.T) {
+	const n = 64
+	p := &Pool{Workers: 3}
+	if s := p.Size(n); s != 3 {
+		t.Fatalf("Size = %d, want 3", s)
+	}
+	// Per-worker counters: only safe if same-worker jobs are sequential.
+	counts := make([]int, p.Size(n))
+	var inFlight [3]atomic.Int32
+	results, err := MapWorkers(context.Background(), p, n,
+		func(_ context.Context, worker, i int) (int, error) {
+			if worker < 0 || worker >= 3 {
+				t.Errorf("worker index %d out of range", worker)
+			}
+			if inFlight[worker].Add(1) != 1 {
+				t.Errorf("two jobs on worker %d at once", worker)
+			}
+			counts[worker]++
+			time.Sleep(time.Microsecond)
+			inFlight[worker].Add(-1)
+			return i * i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("ran %d jobs, want %d", total, n)
+	}
+	for i, v := range results {
+		if v != i*i {
+			t.Fatalf("results[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// Per-worker scratch reuse through MapWorkers must deliver every job a
+// scratch no other in-flight job holds — the experiment layer's reusable
+// simulator pattern.
+func TestMapWorkersScratchReuse(t *testing.T) {
+	const n = 40
+	p := &Pool{Workers: 4}
+	type scratch struct {
+		busy atomic.Bool
+		uses int
+	}
+	pads := make([]scratch, p.Size(n))
+	_, err := MapWorkers(context.Background(), p, n,
+		func(_ context.Context, worker, i int) (struct{}, error) {
+			ws := &pads[worker]
+			if !ws.busy.CompareAndSwap(false, true) {
+				t.Errorf("scratch %d used concurrently", worker)
+			}
+			ws.uses++
+			time.Sleep(time.Microsecond)
+			ws.busy.Store(false)
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := range pads {
+		total += pads[i].uses
+	}
+	if total != n {
+		t.Fatalf("scratch uses %d, want %d", total, n)
+	}
+}

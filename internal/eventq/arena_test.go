@@ -1,0 +1,355 @@
+package eventq
+
+// White-box tests for the pooled indexed heap: equivalence against a
+// reference container/heap kernel under random Schedule/Cancel/fire
+// interleavings, free-list reuse (steady state grows no arena), tie-break
+// determinism, and stale-Ref safety across slot reuse.
+
+import (
+	"container/heap"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// refEvent / refHeap: the pre-arena future event list — a container/heap
+// binary heap of boxed events with lazy cancellation — kept verbatim as
+// the behavioral reference the production kernel must match.
+type refEvent struct {
+	time     float64
+	seq      uint64
+	index    int
+	id       int
+	canceled bool
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *refHeap) Push(x any) {
+	e := x.(*refEvent)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// refKernel drives refHeap with the reference fire/cancel semantics.
+type refKernel struct {
+	h   refHeap
+	seq uint64
+}
+
+func (r *refKernel) schedule(t float64, id int) *refEvent {
+	e := &refEvent{time: t, seq: r.seq, id: id}
+	r.seq++
+	heap.Push(&r.h, e)
+	return e
+}
+
+func (r *refKernel) cancel(e *refEvent) { e.canceled = true }
+
+// fire pops the earliest non-canceled event's id, or -1 when drained.
+func (r *refKernel) fire() (float64, int) {
+	for r.h.Len() > 0 {
+		e := heap.Pop(&r.h).(*refEvent)
+		if e.canceled {
+			continue
+		}
+		return e.time, e.id
+	}
+	return 0, -1
+}
+
+// TestArenaMatchesReferenceHeap drives the production kernel and the
+// reference kernel through the same random interleaving of schedules,
+// cancels, and fires, and requires identical fire sequences (time and
+// event identity). This is the load-bearing equivalence test: it pins the
+// (time, seq) total order — and therefore every downstream trajectory —
+// to the pre-arena kernel's.
+func TestArenaMatchesReferenceHeap(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		k := New()
+		ref := &refKernel{}
+
+		type livePair struct {
+			r  Ref
+			re *refEvent
+		}
+		var live []livePair
+		var gotT, wantT []float64
+		var gotID, wantID []int
+		nextID := 0
+
+		for op := 0; op < 400; op++ {
+			switch v := s.Float64(); {
+			case v < 0.55: // schedule
+				// Coarse times force heavy ties; the tie-break must match.
+				tt := k.Now() + float64(int(s.Float64()*8))
+				id := nextID
+				nextID++
+				r, err := k.Schedule(tt, func(now float64) {
+					gotT = append(gotT, now)
+					gotID = append(gotID, id)
+				})
+				if err != nil {
+					return false
+				}
+				live = append(live, livePair{r: r, re: ref.schedule(tt, id)})
+			case v < 0.75 && len(live) > 0: // cancel a random live event
+				i := int(s.Float64() * float64(len(live)))
+				k.Cancel(live[i].r)
+				ref.cancel(live[i].re)
+				live = append(live[:i], live[i+1:]...)
+			default: // fire one
+				wt, wid := ref.fire()
+				fired := k.Step()
+				if (wid >= 0) != fired {
+					return false
+				}
+				if wid >= 0 {
+					wantT = append(wantT, wt)
+					wantID = append(wantID, wid)
+					// Drop the fired event from the live set (ids are unique).
+					for i := range live {
+						if live[i].re.id == wid {
+							live = append(live[:i], live[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+		}
+		// Drain both.
+		for {
+			wt, wid := ref.fire()
+			if wid < 0 {
+				break
+			}
+			if !k.Step() {
+				return false
+			}
+			wantT = append(wantT, wt)
+			wantID = append(wantID, wid)
+		}
+		if k.Step() {
+			return false
+		}
+		if len(gotT) != len(wantT) {
+			return false
+		}
+		for i := range gotT {
+			if gotT[i] != wantT[i] || gotID[i] != wantID[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFreeListReuse pins the zero-allocation contract structurally: a
+// handler that reschedules itself (the continuous-time steady state)
+// cycles through the free list without ever growing the arena, and a
+// schedule/cancel churn loop holds the arena at its high-water mark.
+func TestFreeListReuse(t *testing.T) {
+	k := New()
+	var tick Handler
+	n := 0
+	tick = func(now float64) {
+		n++
+		if n < 10000 {
+			k.After(1, tick)
+		}
+	}
+	k.After(1, tick)
+	if len(k.arena) != 1 {
+		t.Fatalf("arena %d slots after first schedule, want 1", len(k.arena))
+	}
+	if err := k.Run(20000); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10000 {
+		t.Fatalf("fired %d, want 10000", n)
+	}
+	if len(k.arena) != 1 {
+		t.Errorf("self-rescheduling chain grew the arena to %d slots, want 1 (free-list reuse)", len(k.arena))
+	}
+
+	// Churn: 4 concurrent timers repeatedly canceled and rescheduled.
+	k2 := New()
+	refs := make([]Ref, 4)
+	for i := range refs {
+		refs[i], _ = k2.Schedule(float64(i+1), func(float64) {})
+	}
+	high := len(k2.arena)
+	for round := 0; round < 1000; round++ {
+		i := round % len(refs)
+		k2.Cancel(refs[i])
+		refs[i], _ = k2.Schedule(float64(round%7)+1, func(float64) {})
+	}
+	if len(k2.arena) != high {
+		t.Errorf("cancel/reschedule churn grew the arena %d → %d slots", high, len(k2.arena))
+	}
+
+	// The steady-state loop performs no heap allocations.
+	k3 := New()
+	var spin Handler
+	spin = func(now float64) { k3.After(1, spin) }
+	k3.After(1, spin)
+	avg := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 1000; i++ {
+			k3.Step()
+		}
+	})
+	if avg > 0 {
+		t.Errorf("steady-state schedule/fire loop allocates: %.2f allocs per 1000 events, want 0", avg)
+	}
+}
+
+// TestTieBreakDeterminism: same-time events fire in schedule order, even
+// when interleaved with cancels that shuffle heap positions, and
+// independently of how many unrelated events came before.
+func TestTieBreakDeterminism(t *testing.T) {
+	run := func(preload int) []int {
+		k := New()
+		// Unrelated churn first, to displace arena slot assignment.
+		var junk []Ref
+		for i := 0; i < preload; i++ {
+			r, _ := k.Schedule(0.25, func(float64) {})
+			junk = append(junk, r)
+		}
+		for _, r := range junk {
+			k.Cancel(r)
+		}
+		var order []int
+		for i := 0; i < 16; i++ {
+			i := i
+			k.Schedule(1.0, func(float64) { order = append(order, i) })
+		}
+		// Cancel a few mid-pack to force removeAt re-sifts among ties.
+		var extra []Ref
+		for i := 0; i < 8; i++ {
+			r, _ := k.Schedule(1.0, func(float64) { order = append(order, 100+i) })
+			if i%2 == 0 {
+				extra = append(extra, r)
+			}
+		}
+		for _, r := range extra {
+			k.Cancel(r)
+		}
+		k.Run(2)
+		return order
+	}
+	want := run(0)
+	for i, v := range want[:16] {
+		if v != i {
+			t.Fatalf("same-time events out of FIFO order: %v", want)
+		}
+	}
+	for _, preload := range []int{1, 7, 33} {
+		got := run(preload)
+		if len(got) != len(want) {
+			t.Fatalf("preload %d changed fire count: %v vs %v", preload, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("preload %d changed tie order at %d: %v vs %v", preload, i, got, want)
+			}
+		}
+	}
+}
+
+// TestStaleRefSafety: a Ref to a fired or canceled event must stay dead
+// even after its arena slot is reused — Cancel through it must not touch
+// the slot's new occupant.
+func TestStaleRefSafety(t *testing.T) {
+	k := New()
+	old, _ := k.Schedule(1, func(float64) {})
+	k.Step() // fires; slot returns to the free list
+	if k.Pending(old) {
+		t.Fatal("fired event still pending")
+	}
+	replFired := false
+	repl, _ := k.Schedule(2, func(float64) { replFired = true }) // reuses the slot
+	if repl.slot != old.slot {
+		t.Fatalf("expected slot reuse (old %d, new %d)", old.slot, repl.slot)
+	}
+	k.Cancel(old) // stale: must be a no-op
+	if !k.Pending(repl) {
+		t.Fatal("stale Cancel killed the slot's new occupant")
+	}
+	k.Run(5)
+	if !replFired {
+		t.Fatal("replacement event never fired")
+	}
+
+	// Same via cancel-then-reuse.
+	a, _ := k.Schedule(10, func(float64) {})
+	k.Cancel(a)
+	bFired := false
+	b, _ := k.Schedule(11, func(float64) { bFired = true })
+	if b.slot != a.slot {
+		t.Fatalf("expected slot reuse after cancel (old %d, new %d)", a.slot, b.slot)
+	}
+	k.Cancel(a) // stale again
+	k.Run(20)
+	if !bFired {
+		t.Fatal("stale double-cancel killed the reused slot")
+	}
+}
+
+// BenchmarkScheduleAndFire: one random-delay schedule + fire per op — the
+// kernel's hot cycle. Steady state must be 0 allocs/op.
+func BenchmarkScheduleAndFire(b *testing.B) {
+	k := New()
+	s := rng.New(1)
+	fn := func(float64) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(k.Now()+s.Float64(), fn)
+		k.Step()
+	}
+}
+
+// BenchmarkScheduleCancel: schedule + cancel per op over a 64-event
+// standing population — the wake-timer pattern of event-driven ctsim.
+func BenchmarkScheduleCancel(b *testing.B) {
+	k := New()
+	s := rng.New(1)
+	fn := func(float64) {}
+	var standing [64]Ref
+	for i := range standing {
+		standing[i], _ = k.Schedule(s.Float64()*100, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i & 63
+		k.Cancel(standing[j])
+		standing[j], _ = k.Schedule(k.Now()+s.Float64()*100, fn)
+	}
+}

@@ -1,68 +1,73 @@
-// Package eventq implements a discrete-event simulation kernel: a binary-
-// heap future event list with stable FIFO tie-breaking, a simulation clock,
-// and event cancellation.
+// Package eventq implements a discrete-event simulation kernel: a future
+// event list with stable FIFO tie-breaking, a simulation clock, and event
+// cancellation.
 //
 // The slotted Q-DPM experiments use a fixed timebase, but trace generation
-// and the continuous-time validation example need true event-driven
+// and the continuous-time validation path need true event-driven
 // simulation (request arrivals at real-valued times, device wakeup
 // completions, timeout expiries). This kernel provides that substrate.
+//
+// # Implementation
+//
+// The future event list is an intrusive, index-tracked 4-ary min-heap over
+// a pooled event arena:
+//
+//   - Events live in a flat arena ([]event) and are addressed by index;
+//     the heap is a []int32 of arena indices, so sifting moves 4-byte
+//     handles instead of interface values and performs no boxing.
+//   - Fired and canceled events return to a free list and are reused by
+//     later Schedule calls, so a simulation in steady state (every handler
+//     rescheduling its successor, as the continuous-time simulator does)
+//     allocates nothing per event.
+//   - Each event records its own heap position, which makes Cancel a true
+//     O(log n) removal — no lazy deletion, no tombstones to sweep, and
+//     Pending is simply the heap length.
+//   - A 4-ary layout halves the tree depth of a binary heap and keeps the
+//     children of a node in one cache line of the index slice; ordering is
+//     by (time, seq) with seq a schedule-order counter, so simultaneous
+//     events fire FIFO and the fire order is byte-for-byte the order the
+//     previous container/heap kernel produced.
+//
+// Callers refer to scheduled events through Ref handles (index +
+// generation). A slot's generation bumps every time it is released, so a
+// stale Ref — to an event that already fired or was canceled, even if the
+// slot has been reused — is detected and ignored rather than corrupting an
+// unrelated event.
 package eventq
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
 )
 
 // Handler is the callback invoked when an event fires. The kernel passes
-// the firing time so handlers need not consult the clock.
+// the firing time so handlers need not consult the clock. Hot paths should
+// bind handlers once (e.g. a struct field holding a method value) and pass
+// the same Handler to every Schedule call; a fresh closure per call is
+// correct but allocates.
 type Handler func(now float64)
 
-// Event is a scheduled occurrence. Obtain events from Kernel.Schedule;
-// the zero value is meaningless.
-type Event struct {
-	time     float64
-	seq      uint64 // FIFO tie-breaker for equal times
-	index    int    // heap index, -1 when not queued
-	fn       Handler
-	canceled bool
+// Ref is a handle to a scheduled event, returned by Schedule and After.
+// The zero Ref refers to no event: Cancel ignores it and Pending reports
+// false, so "no outstanding event" needs no sentinel beyond Ref{}.
+type Ref struct {
+	slot int32  // arena index + 1; 0 = none
+	gen  uint32 // arena slot generation at schedule time
 }
 
-// Time returns the scheduled firing time.
-func (e *Event) Time() float64 { return e.time }
+// Valid reports whether the Ref was ever issued by Schedule (it says
+// nothing about whether the event is still pending; see Kernel.Pending).
+func (r Ref) Valid() bool { return r.slot != 0 }
 
-// Pending reports whether the event is still queued and not canceled.
-func (e *Event) Pending() bool { return e.index >= 0 && !e.canceled }
-
-// eventHeap orders by (time, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// event is one arena slot.
+type event struct {
+	time    float64
+	seq     uint64 // FIFO tie-breaker for equal times
+	fn      Handler
+	heapIdx int32  // position in Kernel.heap, -1 when free
+	gen     uint32 // bumped on release; pairs with Ref.gen
+	next    int32  // free-list link (slot+1 form), meaningful while free
 }
 
 // Kernel is a discrete-event simulation executive. It is not safe for
@@ -70,15 +75,32 @@ func (h *eventHeap) Pop() any {
 // goroutine with split rng streams.
 type Kernel struct {
 	now     float64
-	heap    eventHeap
+	arena   []event
+	heap    []int32 // arena indices ordered as a 4-ary min-heap by (time, seq)
+	free    int32   // free-list head (slot+1 form), 0 = empty
 	seq     uint64
-	stopped bool
 	fired   uint64
-	live    int // queued non-canceled events, kept exact by Schedule/Cancel/Step
+	stopped bool
 }
 
 // New returns a kernel with the clock at 0.
 func New() *Kernel { return &Kernel{} }
+
+// Reset returns the kernel to a freshly constructed state — clock at 0,
+// no queued events, sequence and fired counters cleared — while retaining
+// the event arena and heap capacity. A worker that runs many replicas
+// back to back resets one kernel instead of reallocating per replica; the
+// behavior after Reset is bit-identical to a new kernel's.
+func (k *Kernel) Reset() {
+	for _, idx := range k.heap {
+		k.release(idx)
+	}
+	k.heap = k.heap[:0]
+	k.now = 0
+	k.seq = 0
+	k.fired = 0
+	k.stopped = false
+}
 
 // Now returns the current simulation time.
 func (k *Kernel) Now() float64 { return k.now }
@@ -86,70 +108,134 @@ func (k *Kernel) Now() float64 { return k.now }
 // Fired returns the number of events executed so far.
 func (k *Kernel) Fired() uint64 { return k.fired }
 
-// Pending returns the number of queued (non-canceled) events. It is O(1):
-// the kernel maintains a live-event counter so consumers that poll per
-// decision (ctsim) never pay for the lazily-deleted canceled entries still
-// sitting in the heap.
-func (k *Kernel) Pending() int { return k.live }
+// Len returns the number of queued events. It is O(1) and exact: Cancel
+// removes events from the heap immediately, so there are no lazily
+// deleted entries to discount.
+func (k *Kernel) Len() int { return len(k.heap) }
+
+// Pending reports whether r's event is still queued (not fired, not
+// canceled). A zero Ref and a stale Ref both report false.
+func (k *Kernel) Pending(r Ref) bool { return k.resolve(r) >= 0 }
+
+// TimeOf returns the scheduled firing time of r's event, or NaN when the
+// event is no longer pending.
+func (k *Kernel) TimeOf(r Ref) float64 {
+	idx := k.resolve(r)
+	if idx < 0 {
+		return math.NaN()
+	}
+	return k.arena[idx].time
+}
+
+// resolve maps a Ref to its arena index, or -1 when the Ref is zero,
+// stale, or the event is not queued.
+func (k *Kernel) resolve(r Ref) int32 {
+	idx := r.slot - 1
+	if idx < 0 || int(idx) >= len(k.arena) {
+		return -1
+	}
+	e := &k.arena[idx]
+	if e.gen != r.gen || e.heapIdx < 0 {
+		return -1
+	}
+	return idx
+}
+
+// alloc takes a slot from the free list, growing the arena when empty.
+func (k *Kernel) alloc() int32 {
+	if k.free != 0 {
+		idx := k.free - 1
+		k.free = k.arena[idx].next
+		return idx
+	}
+	k.arena = append(k.arena, event{heapIdx: -1})
+	return int32(len(k.arena) - 1)
+}
+
+// release returns a slot to the free list, invalidating outstanding Refs.
+func (k *Kernel) release(idx int32) {
+	e := &k.arena[idx]
+	e.gen++
+	e.fn = nil
+	e.heapIdx = -1
+	e.next = k.free
+	k.free = idx + 1
+}
 
 // Schedule queues fn to run at time t. Scheduling in the past (t < Now) is
 // an error; scheduling exactly at Now is allowed and runs after currently
 // queued events at Now (FIFO).
-func (k *Kernel) Schedule(t float64, fn Handler) (*Event, error) {
+func (k *Kernel) Schedule(t float64, fn Handler) (Ref, error) {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
-		return nil, fmt.Errorf("eventq: schedule time %v is not finite", t)
+		return Ref{}, fmt.Errorf("eventq: schedule time %v is not finite", t)
 	}
 	if t < k.now {
-		return nil, fmt.Errorf("eventq: schedule time %v precedes current time %v", t, k.now)
+		return Ref{}, fmt.Errorf("eventq: schedule time %v precedes current time %v", t, k.now)
 	}
 	if fn == nil {
-		return nil, errors.New("eventq: nil handler")
+		return Ref{}, errors.New("eventq: nil handler")
 	}
-	e := &Event{time: t, seq: k.seq, fn: fn}
+	idx := k.alloc()
+	e := &k.arena[idx]
+	e.time = t
+	e.seq = k.seq
+	e.fn = fn
 	k.seq++
-	heap.Push(&k.heap, e)
-	k.live++
-	return e, nil
+	i := len(k.heap)
+	k.heap = append(k.heap, idx)
+	e.heapIdx = int32(i)
+	k.siftUp(i)
+	return Ref{slot: idx + 1, gen: e.gen}, nil
 }
 
 // After queues fn to run delay time units from now; delay must be >= 0.
-func (k *Kernel) After(delay float64, fn Handler) (*Event, error) {
+func (k *Kernel) After(delay float64, fn Handler) (Ref, error) {
 	if delay < 0 || math.IsNaN(delay) {
-		return nil, fmt.Errorf("eventq: negative delay %v", delay)
+		return Ref{}, fmt.Errorf("eventq: negative delay %v", delay)
 	}
 	return k.Schedule(k.now+delay, fn)
 }
 
-// Cancel removes a pending event. Canceling an already-fired or already-
-// canceled event is a harmless no-op.
-func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.canceled || e.index < 0 {
+// Cancel removes a pending event and recycles its slot. Canceling a zero
+// Ref, an already-fired, or an already-canceled event is a harmless no-op.
+func (k *Kernel) Cancel(r Ref) {
+	idx := k.resolve(r)
+	if idx < 0 {
 		return
 	}
-	e.canceled = true
-	k.live--
-	// Lazy deletion: leave it in the heap; Step skips canceled events.
+	k.removeAt(int(k.arena[idx].heapIdx))
+	k.release(idx)
 }
 
 // Stop makes Run return after the current event completes, leaving the
 // clock at that event's time.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// Step fires the earliest pending event. It returns false when the queue is
-// empty.
+// Step fires the earliest pending event. It returns false when the queue
+// is empty.
 func (k *Kernel) Step() bool {
-	for k.heap.Len() > 0 {
-		e := heap.Pop(&k.heap).(*Event)
-		if e.canceled {
-			continue
-		}
-		k.live--
-		k.now = e.time
-		k.fired++
-		e.fn(k.now)
-		return true
+	if len(k.heap) == 0 {
+		return false
 	}
-	return false
+	idx := k.heap[0]
+	e := &k.arena[idx]
+	t, fn := e.time, e.fn
+	n := len(k.heap) - 1
+	last := k.heap[n]
+	k.heap = k.heap[:n]
+	if n > 0 {
+		k.heap[0] = last
+		k.arena[last].heapIdx = 0
+		k.siftDown(0)
+	}
+	// Release before invoking the handler so a rescheduling handler (the
+	// steady-state pattern) reuses this very slot without growing the
+	// arena. e is invalid past this point: the handler may grow the arena.
+	k.release(idx)
+	k.now = t
+	k.fired++
+	fn(t)
+	return true
 }
 
 // Run executes events until the queue is empty, Stop is called, or the
@@ -163,21 +249,85 @@ func (k *Kernel) Run(horizon float64) error {
 		return fmt.Errorf("eventq: horizon %v precedes current time %v", horizon, k.now)
 	}
 	k.stopped = false
-	for !k.stopped {
-		// Peek at the earliest non-canceled event.
-		for k.heap.Len() > 0 && k.heap[0].canceled {
-			heap.Pop(&k.heap)
-		}
-		if k.heap.Len() == 0 {
-			break
-		}
-		if k.heap[0].time > horizon {
-			break
-		}
+	for !k.stopped && len(k.heap) > 0 && k.arena[k.heap[0]].time <= horizon {
 		k.Step()
 	}
 	if !k.stopped && k.now < horizon {
 		k.now = horizon
 	}
 	return nil
+}
+
+// less orders arena slots by (time, seq): earlier first, FIFO on ties.
+func (k *Kernel) less(a, b int32) bool {
+	ea, eb := &k.arena[a], &k.arena[b]
+	if ea.time != eb.time {
+		return ea.time < eb.time
+	}
+	return ea.seq < eb.seq
+}
+
+// siftUp restores the heap property from position i toward the root.
+func (k *Kernel) siftUp(i int) {
+	h := k.heap
+	id := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !k.less(id, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		k.arena[h[i]].heapIdx = int32(i)
+		i = p
+	}
+	h[i] = id
+	k.arena[id].heapIdx = int32(i)
+}
+
+// siftDown restores the heap property from position i toward the leaves.
+func (k *Kernel) siftDown(i int) {
+	h := k.heap
+	n := len(h)
+	id := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		best := c
+		for j := c + 1; j < end; j++ {
+			if k.less(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !k.less(h[best], id) {
+			break
+		}
+		h[i] = h[best]
+		k.arena[h[i]].heapIdx = int32(i)
+		i = best
+	}
+	h[i] = id
+	k.arena[id].heapIdx = int32(i)
+}
+
+// removeAt deletes the heap entry at position i, preserving order.
+func (k *Kernel) removeAt(i int) {
+	n := len(k.heap) - 1
+	last := k.heap[n]
+	k.heap = k.heap[:n]
+	if i == n {
+		return
+	}
+	k.heap[i] = last
+	k.arena[last].heapIdx = int32(i)
+	if i > 0 && k.less(last, k.heap[(i-1)>>2]) {
+		k.siftUp(i)
+	} else {
+		k.siftDown(i)
+	}
 }

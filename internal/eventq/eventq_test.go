@@ -73,25 +73,34 @@ func TestCancel(t *testing.T) {
 	k := New()
 	fired := false
 	e, _ := k.Schedule(1, func(float64) { fired = true })
-	if !e.Pending() {
+	if !e.Valid() || !k.Pending(e) {
 		t.Fatal("scheduled event not pending")
 	}
+	if tt := k.TimeOf(e); tt != 1 {
+		t.Fatalf("TimeOf = %v, want 1", tt)
+	}
 	k.Cancel(e)
-	if e.Pending() {
+	if k.Pending(e) {
 		t.Fatal("canceled event still pending")
+	}
+	if !math.IsNaN(k.TimeOf(e)) {
+		t.Fatal("TimeOf of canceled event not NaN")
 	}
 	k.Run(5)
 	if fired {
 		t.Fatal("canceled event fired")
 	}
-	k.Cancel(e) // double-cancel is a no-op
-	k.Cancel(nil)
+	k.Cancel(e)     // double-cancel is a no-op
+	k.Cancel(Ref{}) // zero Ref is a no-op
+	if k.Pending(Ref{}) {
+		t.Fatal("zero Ref reported pending")
+	}
 }
 
 func TestCancelOneOfMany(t *testing.T) {
 	k := New()
 	var got []int
-	var events []*Event
+	var events []Ref
 	for i := 0; i < 5; i++ {
 		i := i
 		e, _ := k.Schedule(float64(i), func(float64) { got = append(got, i) })
@@ -177,48 +186,50 @@ func TestStopLeavesClockAtCurrentEvent(t *testing.T) {
 	}
 }
 
-// Regression for the O(1) live-event counter: Pending must stay exact
-// through schedule/cancel/fire interleavings, including cancels of
-// already-fired and already-canceled events and lazily-deleted entries
-// swept by Run.
-func TestPendingCounterExact(t *testing.T) {
+// Len must stay exact through schedule/cancel/fire interleavings,
+// including cancels of already-fired and already-canceled events — on the
+// indexed heap, Cancel removes immediately, so Len is the heap length.
+func TestLenCounterExact(t *testing.T) {
 	k := New()
-	var events []*Event
+	var events []Ref
 	for i := 0; i < 6; i++ {
 		e, _ := k.Schedule(float64(i+1), func(float64) {})
 		events = append(events, e)
 	}
-	if p := k.Pending(); p != 6 {
-		t.Fatalf("Pending = %d, want 6", p)
+	if p := k.Len(); p != 6 {
+		t.Fatalf("Len = %d, want 6", p)
 	}
 	k.Cancel(events[0])
 	k.Cancel(events[3])
 	k.Cancel(events[3]) // double-cancel: no-op
-	if p := k.Pending(); p != 4 {
-		t.Fatalf("Pending after cancels = %d, want 4", p)
+	if p := k.Len(); p != 4 {
+		t.Fatalf("Len after cancels = %d, want 4", p)
 	}
-	if !k.Step() { // fires event 1 (event 0 lazily skipped)
+	if !k.Step() { // fires event 1 (event 0 was removed by Cancel)
 		t.Fatal("Step found nothing")
 	}
-	if p := k.Pending(); p != 3 {
-		t.Fatalf("Pending after Step = %d, want 3", p)
+	if k.Now() != 2 {
+		t.Fatalf("Step fired at %v, want 2 (event at 1 was canceled)", k.Now())
+	}
+	if p := k.Len(); p != 3 {
+		t.Fatalf("Len after Step = %d, want 3", p)
 	}
 	k.Cancel(events[1]) // already fired: no-op
-	if p := k.Pending(); p != 3 {
-		t.Fatalf("Pending after cancel-of-fired = %d, want 3", p)
+	if p := k.Len(); p != 3 {
+		t.Fatalf("Len after cancel-of-fired = %d, want 3", p)
 	}
 	k.Run(10)
-	if p := k.Pending(); p != 0 {
-		t.Fatalf("Pending after drain = %d, want 0", p)
+	if p := k.Len(); p != 0 {
+		t.Fatalf("Len after drain = %d, want 0", p)
 	}
 	if k.Fired() != 4 {
 		t.Fatalf("Fired = %d, want 4", k.Fired())
 	}
-	// Cancel-only drain: Run sweeps lazily-deleted entries without firing.
+	// Cancel-only drain leaves nothing to fire.
 	e, _ := k.Schedule(20, func(float64) {})
 	k.Cancel(e)
-	if p := k.Pending(); p != 0 {
-		t.Fatalf("Pending after cancel-only = %d, want 0", p)
+	if p := k.Len(); p != 0 {
+		t.Fatalf("Len after cancel-only = %d, want 0", p)
 	}
 	k.Run(30)
 	if k.Fired() != 4 {
@@ -260,21 +271,21 @@ func TestScheduleAtNowRunsAfterCurrentQueue(t *testing.T) {
 	}
 }
 
-func TestFiredAndPendingCounters(t *testing.T) {
+func TestFiredAndLenCounters(t *testing.T) {
 	k := New()
 	e1, _ := k.Schedule(1, func(float64) {})
 	k.Schedule(2, func(float64) {})
 	k.Schedule(3, func(float64) {})
 	k.Cancel(e1)
-	if p := k.Pending(); p != 2 {
-		t.Fatalf("Pending = %d, want 2", p)
+	if p := k.Len(); p != 2 {
+		t.Fatalf("Len = %d, want 2", p)
 	}
 	k.Run(10)
 	if k.Fired() != 2 {
 		t.Fatalf("Fired = %d, want 2", k.Fired())
 	}
-	if p := k.Pending(); p != 0 {
-		t.Fatalf("Pending after run = %d, want 0", p)
+	if p := k.Len(); p != 0 {
+		t.Fatalf("Len after run = %d, want 0", p)
 	}
 }
 
@@ -305,11 +316,48 @@ func TestPropertyOrderInvariant(t *testing.T) {
 	}
 }
 
-func BenchmarkScheduleAndFire(b *testing.B) {
+// Reset must return a reused kernel to a state behaviorally identical to
+// a fresh one: clock 0, empty queue, seq restarted (so tie-break order of
+// a re-run matches a first run), arena retained.
+func TestResetMatchesFreshKernel(t *testing.T) {
+	trace := func(k *Kernel) []float64 {
+		var got []float64
+		var rec Handler
+		rec = func(now float64) {
+			got = append(got, now)
+			if now < 5 {
+				k.After(1, rec)
+			}
+		}
+		k.Schedule(1, rec)
+		k.Schedule(1, func(now float64) { got = append(got, -now) })
+		e, _ := k.Schedule(3.5, func(float64) { got = append(got, 99) })
+		k.Cancel(e)
+		k.Run(10)
+		return got
+	}
 	k := New()
-	s := rng.New(1)
-	for i := 0; i < b.N; i++ {
-		k.Schedule(k.Now()+s.Float64(), func(float64) {})
-		k.Step()
+	first := trace(k)
+	k.Reset()
+	if k.Now() != 0 || k.Len() != 0 || k.Fired() != 0 {
+		t.Fatalf("Reset left state: now=%v len=%d fired=%d", k.Now(), k.Len(), k.Fired())
+	}
+	second := trace(k)
+	if len(first) != len(second) {
+		t.Fatalf("re-run diverged: %v vs %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("re-run diverged at %d: %v vs %v", i, first, second)
+		}
+	}
+	// Pending events at Reset are dropped, not fired.
+	k.Reset()
+	fired := false
+	k.Schedule(2, func(float64) { fired = true })
+	k.Reset()
+	k.Run(10)
+	if fired {
+		t.Fatal("event scheduled before Reset fired after it")
 	}
 }

@@ -49,20 +49,20 @@ func (sc *CTScenario) Validate() error {
 	return nil
 }
 
-// newCTReplicaSim builds one replica's continuous-time simulator under the
-// repository determinism contract: the seed roots a stream whose first
+// ctReplicaConfig assembles one replica's simulator configuration under
+// the repository determinism contract: the seed roots a stream whose first
 // split feeds the policy and second split feeds the simulator — the same
 // layout as the slotted newReplicaSim, so cross-simulator comparisons can
 // share seeds.
-func newCTReplicaSim(sc CTScenario, pf PolicyFactory, seed uint64) (*ctsim.Sim, error) {
+func ctReplicaConfig(sc CTScenario, pf PolicyFactory, seed uint64) (ctsim.Config, error) {
 	root := rng.New(seed)
 	polStream := root.Split()
 	simStream := root.Split()
 	pol, err := pf.New(polStream)
 	if err != nil {
-		return nil, fmt.Errorf("experiment: building policy %s: %w", pf.Name, err)
+		return ctsim.Config{}, fmt.Errorf("experiment: building policy %s: %w", pf.Name, err)
 	}
-	return ctsim.New(ctsim.Config{
+	return ctsim.Config{
 		Device:         sc.Device,
 		QueueCap:       sc.QueueCap,
 		LatencyWeight:  sc.LatencyWeight,
@@ -70,7 +70,53 @@ func newCTReplicaSim(sc CTScenario, pf PolicyFactory, seed uint64) (*ctsim.Sim, 
 		Source:         sc.Source(),
 		Stream:         simStream,
 		DecisionPeriod: sc.Period,
-	})
+	}, nil
+}
+
+// ctScratch is one worker's reusable replica state: the simulator (whose
+// kernel arena, queue ring, and StateTime buffer survive across the
+// replicas this worker runs) and a metrics scratch for MetricsInto. A
+// worker's scratch never influences results — ctsim.Sim.Reset is
+// bit-identical to a fresh build — it only keeps replica turnover off the
+// allocator.
+type ctScratch struct {
+	sim     *ctsim.Sim
+	metrics ctsim.Metrics
+}
+
+// runCTReplica executes one replica into ws.metrics, building the
+// simulator fresh on the worker's first job and resetting it afterwards.
+// Replicas run in chunks of ctCancelChunkTicks governor ticks and poll
+// the context between chunks.
+func runCTReplica(ctx context.Context, sc CTScenario, pf PolicyFactory, seed uint64, ws *ctScratch) error {
+	cfg, err := ctReplicaConfig(sc, pf, seed)
+	if err != nil {
+		return err
+	}
+	if ws.sim == nil {
+		if ws.sim, err = ctsim.New(cfg); err != nil {
+			return err
+		}
+	} else if err = ws.sim.Reset(cfg); err != nil {
+		return err
+	}
+	chunk := sc.Period * ctCancelChunkTicks
+	for until := chunk; ; until += chunk {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if until > sc.Horizon {
+			until = sc.Horizon
+		}
+		if err := ws.sim.Run(until); err != nil {
+			return err
+		}
+		if until >= sc.Horizon {
+			break
+		}
+	}
+	ws.sim.MetricsInto(&ws.metrics)
+	return nil
 }
 
 // ctCancelChunkTicks bounds cancellation latency: replicas run in chunks
@@ -88,26 +134,11 @@ func RunCTOneCtx(ctx context.Context, sc CTScenario, pf PolicyFactory, seed uint
 	if err := sc.Validate(); err != nil {
 		return ctsim.Metrics{}, err
 	}
-	sim, err := newCTReplicaSim(sc, pf, seed)
-	if err != nil {
+	var ws ctScratch
+	if err := runCTReplica(ctx, sc, pf, seed, &ws); err != nil {
 		return ctsim.Metrics{}, err
 	}
-	chunk := sc.Period * ctCancelChunkTicks
-	for until := chunk; ; until += chunk {
-		if err := ctx.Err(); err != nil {
-			return ctsim.Metrics{}, err
-		}
-		if until > sc.Horizon {
-			until = sc.Horizon
-		}
-		if err := sim.Run(until); err != nil {
-			return ctsim.Metrics{}, err
-		}
-		if until >= sc.Horizon {
-			break
-		}
-	}
-	return sim.Metrics(), nil
+	return ws.metrics, nil
 }
 
 // CTSummary pools continuous-time replica metrics for one policy on one
@@ -166,14 +197,16 @@ func RunCTReplicatedCtx(ctx context.Context, sc CTScenario, pf PolicyFactory, se
 		return nil, err
 	}
 	maxP := sc.Device.MaxPower()
-	parts, err := engine.Map(ctx, par.pool(), len(seeds),
-		func(ctx context.Context, i int) (*CTSummary, error) {
-			m, err := RunCTOneCtx(ctx, sc, pf, seeds[i])
-			if err != nil {
+	pool := par.pool()
+	scratch := make([]ctScratch, pool.Size(len(seeds)))
+	parts, err := engine.MapWorkers(ctx, pool, len(seeds),
+		func(ctx context.Context, worker, i int) (*CTSummary, error) {
+			ws := &scratch[worker]
+			if err := runCTReplica(ctx, sc, pf, seeds[i], ws); err != nil {
 				return nil, err
 			}
 			s := &CTSummary{Policy: pf.Name, Scenario: sc.Name}
-			s.addReplica(&m, maxP)
+			s.addReplica(&ws.metrics, maxP)
 			return s, nil
 		})
 	if err != nil {
@@ -199,15 +232,17 @@ func ctReplicaGrid[C any](ctx context.Context, par Parallel, cells []C, seeds []
 			return nil, err
 		}
 	}
-	parts, err := engine.Map(ctx, par.pool(), len(cells)*len(seeds),
-		func(ctx context.Context, i int) (*CTSummary, error) {
+	pool := par.pool()
+	scratch := make([]ctScratch, pool.Size(len(cells)*len(seeds)))
+	parts, err := engine.MapWorkers(ctx, pool, len(cells)*len(seeds),
+		func(ctx context.Context, worker, i int) (*CTSummary, error) {
 			sc, pf := cell(cells[i/len(seeds)])
-			m, err := RunCTOneCtx(ctx, sc, pf, seeds[i%len(seeds)])
-			if err != nil {
+			ws := &scratch[worker]
+			if err := runCTReplica(ctx, sc, pf, seeds[i%len(seeds)], ws); err != nil {
 				return nil, err
 			}
 			s := &CTSummary{Policy: pf.Name, Scenario: sc.Name}
-			s.addReplica(&m, sc.Device.MaxPower())
+			s.addReplica(&ws.metrics, sc.Device.MaxPower())
 			return s, nil
 		})
 	if err != nil {

@@ -97,6 +97,12 @@ const (
 
 // Solve runs two-phase simplex with Bland's rule. It returns
 // ErrInfeasible or ErrUnbounded as appropriate.
+//
+// The tableau is a single backing []float64 with row stride `width` (one
+// allocation, contiguous rows) rather than an [][]float64: a pivot walks
+// every entry, so row locality and a flat index computation dominate the
+// solver's runtime and allocation profile on the occupancy LPs stochpm
+// feeds it.
 func Solve(p Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -104,31 +110,28 @@ func Solve(p Problem) (*Solution, error) {
 	m := len(p.B)
 	n := len(p.C)
 
-	// Normalize to b >= 0.
-	a := make([][]float64, m)
-	b := make([]float64, m)
-	for i := range a {
-		a[i] = append([]float64(nil), p.A[i]...)
-		b[i] = p.B[i]
-		if b[i] < 0 {
-			for j := range a[i] {
-				a[i][j] = -a[i][j]
-			}
-			b[i] = -b[i]
-		}
-	}
-
 	// Phase 1: add artificial variables, minimize their sum.
-	// Tableau columns: n structural + m artificial + 1 rhs.
+	// Tableau columns: n structural + m artificial + 1 rhs; rows: m
+	// constraints + 1 objective, flattened row-major into one slice.
+	// Constraint rows are filled straight from the problem data with b
+	// normalized to >= 0 (sign-flipping the row inline), so no
+	// intermediate copy of A is made.
 	width := n + m + 1
-	t := make([][]float64, m+1)
+	t := make([]float64, (m+1)*width)
 	for i := 0; i < m; i++ {
-		t[i] = make([]float64, width)
-		copy(t[i], a[i])
-		t[i][n+i] = 1
-		t[i][width-1] = b[i]
+		row := t[i*width : (i+1)*width]
+		copy(row, p.A[i])
+		bi := p.B[i]
+		if bi < 0 {
+			for j := 0; j < n; j++ {
+				row[j] = -row[j]
+			}
+			bi = -bi
+		}
+		row[n+i] = 1
+		row[width-1] = bi
 	}
-	t[m] = make([]float64, width) // phase-1 objective row
+	obj := t[m*width : (m+1)*width] // phase-1 objective row
 	basis := make([]int, m)
 	for i := 0; i < m; i++ {
 		basis[i] = n + i
@@ -138,18 +141,18 @@ func Solve(p Problem) (*Solution, error) {
 	for j := 0; j < width; j++ {
 		s := 0.0
 		for i := 0; i < m; i++ {
-			s += t[i][j]
+			s += t[i*width+j]
 		}
 		if j < n || j == width-1 {
-			t[m][j] = -s
+			obj[j] = -s
 		}
 	}
 
-	iters, err := simplexLoop(t, basis, n+m)
+	iters, err := simplexLoop(t, width, basis, n+m)
 	if err != nil {
 		return nil, err
 	}
-	if t[m][width-1] < -1e-7 {
+	if obj[width-1] < -1e-7 {
 		return nil, ErrInfeasible
 	}
 
@@ -158,10 +161,11 @@ func Solve(p Problem) (*Solution, error) {
 		if basis[i] < n {
 			continue
 		}
+		row := t[i*width : (i+1)*width]
 		pivoted := false
 		for j := 0; j < n; j++ {
-			if math.Abs(t[i][j]) > driveOutEps {
-				pivot(t, basis, i, j)
+			if math.Abs(row[j]) > driveOutEps {
+				pivot(t, width, basis, i, j)
 				pivoted = true
 				break
 			}
@@ -171,33 +175,32 @@ func Solve(p Problem) (*Solution, error) {
 			// redundant constraint. Zero the row outright so its noise
 			// entries can never win a ratio test — pivoting on a ~1e-7
 			// residue would destroy the tableau's conditioning.
-			for j := 0; j < width; j++ {
-				t[i][j] = 0
+			for j := range row {
+				row[j] = 0
 			}
 		}
 	}
 
 	// Phase 2: replace the objective row with the true costs (reduced).
 	for j := 0; j < width; j++ {
-		t[m][j] = 0
+		obj[j] = 0
 	}
-	for j := 0; j < n; j++ {
-		t[m][j] = p.C[j]
-	}
+	copy(obj, p.C)
 	// Make reduced costs of basic variables zero.
 	for i := 0; i < m; i++ {
 		if basis[i] >= n {
 			continue
 		}
-		c := t[m][basis[i]]
+		c := obj[basis[i]]
 		if c == 0 {
 			continue
 		}
+		row := t[i*width : (i+1)*width]
 		for j := 0; j < width; j++ {
-			t[m][j] -= c * t[i][j]
+			obj[j] -= c * row[j]
 		}
 	}
-	it2, err := simplexLoop(t, basis, n) // artificial columns excluded
+	it2, err := simplexLoop(t, width, basis, n) // artificial columns excluded
 	iters += it2
 	if err != nil {
 		return nil, err
@@ -206,7 +209,7 @@ func Solve(p Problem) (*Solution, error) {
 	x := make([]float64, n)
 	for i := 0; i < m; i++ {
 		if basis[i] < n {
-			x[basis[i]] = t[i][width-1]
+			x[basis[i]] = t[i*width+width-1]
 		}
 	}
 
@@ -238,35 +241,37 @@ func Solve(p Problem) (*Solution, error) {
 		}
 	}
 
-	obj := 0.0
+	val := 0.0
 	for j := 0; j < n; j++ {
-		obj += p.C[j] * x[j]
+		val += p.C[j] * x[j]
 	}
-	return &Solution{X: x, Objective: obj, Iterations: iters}, nil
+	return &Solution{X: x, Objective: val, Iterations: iters}, nil
 }
 
-// simplexLoop pivots until optimal over the first `cols` columns. The
-// entering rule is Dantzig's (most negative reduced cost), which reaches
-// the optimum of these occupancy LPs in a handful of pivots; while the
-// objective stalls on a degenerate vertex it falls back to Bland's rule
-// (smallest index), whose anti-cycling guarantee breaks the stall. Keeping
-// the pivot count low matters beyond speed: every dense tableau pivot
-// accumulates rounding error, and hundreds of degenerate Bland pivots can
-// corrupt the tableau outright.
-func simplexLoop(t [][]float64, basis []int, cols int) (int, error) {
+// simplexLoop pivots until optimal over the first `cols` columns of the
+// flat row-major tableau t (row stride width, len(basis) constraint rows
+// followed by the objective row). The entering rule is Dantzig's (most
+// negative reduced cost), which reaches the optimum of these occupancy
+// LPs in a handful of pivots; while the objective stalls on a degenerate
+// vertex it falls back to Bland's rule (smallest index), whose
+// anti-cycling guarantee breaks the stall. Keeping the pivot count low
+// matters beyond speed: every dense tableau pivot accumulates rounding
+// error, and hundreds of degenerate Bland pivots can corrupt the tableau
+// outright.
+func simplexLoop(t []float64, width int, basis []int, cols int) (int, error) {
 	m := len(basis)
-	width := len(t[0])
+	obj := t[m*width : (m+1)*width]
 	iters := 0
 	maxIters := 50000 + 200*(m+cols)
 	stall := 0
-	lastObj := t[m][width-1]
+	lastObj := obj[width-1]
 	for {
 		// Entering column.
 		col := -1
 		if stall > 25 {
 			// Bland: smallest index with negative reduced cost.
 			for j := 0; j < cols; j++ {
-				if t[m][j] < -optEps {
+				if obj[j] < -optEps {
 					col = j
 					break
 				}
@@ -275,8 +280,8 @@ func simplexLoop(t [][]float64, basis []int, cols int) (int, error) {
 			// Dantzig: most negative reduced cost.
 			best := -optEps
 			for j := 0; j < cols; j++ {
-				if t[m][j] < best {
-					best = t[m][j]
+				if obj[j] < best {
+					best = obj[j]
 					col = j
 				}
 			}
@@ -288,8 +293,8 @@ func simplexLoop(t [][]float64, basis []int, cols int) (int, error) {
 		row := -1
 		bestRatio := math.Inf(1)
 		for i := 0; i < m; i++ {
-			if t[i][col] > ratioEps {
-				ratio := t[i][width-1] / t[i][col]
+			if piv := t[i*width+col]; piv > ratioEps {
+				ratio := t[i*width+width-1] / piv
 				if ratio < bestRatio-1e-12 || (math.Abs(ratio-bestRatio) <= 1e-12 && (row < 0 || basis[i] < basis[row])) {
 					bestRatio = ratio
 					row = i
@@ -301,19 +306,19 @@ func simplexLoop(t [][]float64, basis []int, cols int) (int, error) {
 			// means the LP is unbounded; for a noise-level reduced cost
 			// (degenerate vertex, accumulated float error) it only means
 			// the column cannot improve — zero it and continue.
-			if t[m][col] > -1e-5 {
-				t[m][col] = 0
+			if obj[col] > -1e-5 {
+				obj[col] = 0
 				continue
 			}
 			return iters, ErrUnbounded
 		}
-		pivot(t, basis, row, col)
+		pivot(t, width, basis, row, col)
 		iters++
 		// Track objective progress (the rhs of the objective row carries
 		// the negated objective, which rises as we minimize).
-		if t[m][width-1] > lastObj+1e-12 {
+		if obj[width-1] > lastObj+1e-12 {
 			stall = 0
-			lastObj = t[m][width-1]
+			lastObj = obj[width-1]
 		} else {
 			stall++
 		}
@@ -323,23 +328,28 @@ func simplexLoop(t [][]float64, basis []int, cols int) (int, error) {
 	}
 }
 
-// pivot performs a full tableau pivot on (row, col).
-func pivot(t [][]float64, basis []int, row, col int) {
-	width := len(t[0])
-	pv := t[row][col]
-	for j := 0; j < width; j++ {
-		t[row][j] /= pv
+// pivot performs a full tableau pivot on (row, col) of the flat tableau.
+// Rows are materialized as subslices once per row, which keeps the inner
+// update loop free of index arithmetic and lets the compiler elide bounds
+// checks over the contiguous spans.
+func pivot(t []float64, width int, basis []int, row, col int) {
+	pr := t[row*width : (row+1)*width]
+	pv := pr[col]
+	for j := range pr {
+		pr[j] /= pv
 	}
-	for i := range t {
+	rows := len(t) / width
+	for i := 0; i < rows; i++ {
 		if i == row {
 			continue
 		}
-		f := t[i][col]
+		ri := t[i*width : (i+1)*width]
+		f := ri[col]
 		if f == 0 {
 			continue
 		}
-		for j := 0; j < width; j++ {
-			t[i][j] -= f * t[row][j]
+		for j, v := range pr {
+			ri[j] -= f * v
 		}
 	}
 	basis[row] = col

@@ -336,6 +336,32 @@ func TestSolutionFeasibilityProperty(t *testing.T) {
 	}
 }
 
+// The flat-tableau solver fills its tableau straight from the problem
+// data (no defensive copy of A), including an inline sign flip for
+// negative rhs rows — the caller's Problem must come back untouched.
+func TestSolveDoesNotMutateProblem(t *testing.T) {
+	p := Problem{
+		C: []float64{1, 2, 3},
+		A: [][]float64{{1, 1, 1}, {-1, 1, 0}},
+		B: []float64{6, -1}, // negative rhs forces the sign-flip path
+	}
+	wantA := [][]float64{{1, 1, 1}, {-1, 1, 0}}
+	wantB := []float64{6, -1}
+	if _, err := Solve(p); err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantA {
+		if p.B[i] != wantB[i] {
+			t.Fatalf("Solve mutated B[%d]: %v", i, p.B[i])
+		}
+		for j := range wantA[i] {
+			if p.A[i][j] != wantA[i][j] {
+				t.Fatalf("Solve mutated A[%d][%d]: %v", i, j, p.A[i][j])
+			}
+		}
+	}
+}
+
 func BenchmarkSolveSmall(b *testing.B) {
 	p := Problem{
 		C: []float64{1, 2, 3},

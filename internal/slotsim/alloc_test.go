@@ -1,0 +1,24 @@
+package slotsim
+
+import "testing"
+
+// TestSlotLoopAllocationFree is the slotsim half of the allocation
+// regression gate (core's TestQDPMHotPathAllocationFree covers the full
+// Q-DPM manager on top): after warm-up the observer-free run loop
+// performs no heap allocations per slot. CI runs this on every build so
+// an allocating change to the hot path fails fast instead of landing as
+// a silent throughput regression.
+func TestSlotLoopAllocationFree(t *testing.T) {
+	s := benchSim(t)
+	if _, err := s.Run(5000, nil); err != nil { // warm up
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := s.Run(1000, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Errorf("slot loop allocates: %.1f allocs per 1000 slots, want 0", avg)
+	}
+}

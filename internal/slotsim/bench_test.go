@@ -11,7 +11,7 @@ import (
 // benchSim builds a canonical simulator for the hot-path benchmarks: the
 // synthetic 3-state device under Bernoulli arrivals with a policy that
 // exercises real transitions (timeout-style: sleep after idling).
-func benchSim(b *testing.B) *Sim {
+func benchSim(b testing.TB) *Sim {
 	b.Helper()
 	dev, err := device.Synthetic3().Slot(0.5)
 	if err != nil {
