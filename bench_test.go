@@ -20,6 +20,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/engine"
 	"repro/internal/experiment"
+	"repro/internal/fleet"
 	"repro/internal/mdp"
 	"repro/internal/qlearn"
 	"repro/internal/rng"
@@ -349,7 +350,11 @@ func BenchmarkCTReplicaTableCell(b *testing.B) {
 }
 
 // BenchmarkCTReplicatedPooled runs an 8-seed CT replication through the
-// worker pool — the path where per-worker simulator reuse pays off.
+// worker pool — the path where per-worker simulator reuse pays off. The
+// pool is pinned to 4 workers (not GOMAXPROCS): one simulator is built
+// per worker, so a core-count-dependent pool would make allocs/op vary
+// by host and break the CI benchmark-regression gate against the
+// recorded baseline.
 func BenchmarkCTReplicatedPooled(b *testing.B) {
 	sc, pf := benchCTScenario(b, 2048)
 	seeds := engine.DeriveSeeds(9, 8)
@@ -357,7 +362,7 @@ func BenchmarkCTReplicatedPooled(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.RunCTReplicatedCtx(context.Background(), sc, pf, seeds,
-			experiment.Parallel{}); err != nil {
+			experiment.Parallel{Workers: 4}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -374,3 +379,51 @@ func benchBernoulli(p float64) func() workload.Arrivals {
 		return b
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Fleet-scale benchmarks: the sharded multi-device layer at 1k–10k
+// instances, reporting wall-clock throughput (devices/s) and the
+// per-event cost of the whole stack (sharding + per-worker sim reuse +
+// merge) alongside the standard ns/op.
+
+// benchFleet runs one fleet of the given size per op and reports
+// devices/s and ns/event. The pool is pinned to 4 workers so allocs/op
+// (one reusable simulator per worker) is host-independent and the CI
+// regression gate can compare it against the recorded baseline.
+func benchFleet(b *testing.B, devices int, horizon float64, mode fleet.Mode) {
+	spec := fleet.Spec{
+		Devices: devices,
+		Classes: fleet.DefaultMix(),
+		Mode:    mode,
+		Horizon: horizon,
+		Seed:    11,
+	}
+	pool := &engine.Pool{Workers: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		sum, err := fleet.Run(context.Background(), spec, pool)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = sum.Events
+	}
+	b.StopTimer()
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(float64(devices)/(perOp/1e9), "devices/s")
+	if events > 0 {
+		b.ReportMetric(perOp/float64(events), "ns/event")
+		b.ReportMetric(float64(events), "events/op")
+	}
+}
+
+// BenchmarkFleet1kCT: 1000 heterogeneous CT instances, 64 s horizon.
+func BenchmarkFleet1kCT(b *testing.B) { benchFleet(b, 1000, 64, fleet.ModeCT) }
+
+// BenchmarkFleet10kCT: the acceptance-scale fleet — 10,000 CT instances.
+func BenchmarkFleet10kCT(b *testing.B) { benchFleet(b, 10000, 64, fleet.ModeCT) }
+
+// BenchmarkFleet1kSlot: the slotted kernel at the same scale, for the
+// cross-kernel cost comparison.
+func BenchmarkFleet1kSlot(b *testing.B) { benchFleet(b, 1000, 64, fleet.ModeSlot) }

@@ -9,6 +9,7 @@
 //	qdpm-bench -exp r4       # Table R4 — small-variation tolerance
 //	qdpm-bench -exp ablate   # design-choice ablations
 //	qdpm-bench -exp ct       # Table CT — continuous-time renewal workloads
+//	qdpm-bench -exp fleet    # Table Fleet — heterogeneous multi-device fleet
 //	qdpm-bench -exp all      # everything
 //
 // -quick shrinks run lengths ~5x for a fast smoke pass. -parallel sets
@@ -35,11 +36,12 @@ import (
 	"repro/internal/dist"
 	"repro/internal/engine"
 	"repro/internal/experiment"
+	"repro/internal/fleet"
 	"repro/internal/rng"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1|fig2|r1|r2|r3|r4|ablate|ct|all")
+	exp := flag.String("exp", "all", "experiment: fig1|fig2|r1|r2|r3|r4|ablate|ct|fleet|all")
 	quick := flag.Bool("quick", false, "shrink run lengths ~5x")
 	parallel := flag.Int("parallel", 0, "replica worker-pool size (0 = GOMAXPROCS, 1 = serial)")
 	seed := flag.Uint64("seed", 0, "derive replica seeds from this base (0 = canonical seeds)")
@@ -226,6 +228,25 @@ func main() {
 			// bit-identical across -parallel values (CI diffs it), and
 			// wall-clock numbers are not.
 			return ctPerfProbe(*quick)
+		})
+	}
+	if want("fleet") {
+		matched = true
+		run("fleet", func() error {
+			devices, horizon := 2000, 400.0
+			seeds := []uint64{41, 42}
+			if *quick {
+				devices, horizon = 400, 120
+				seeds = seeds[:1]
+			}
+			seeds = reseed(seeds, 8)
+			tab, err := experiment.TableFleetCtx(ctx, devices, horizon, fleet.ModeCT, seeds, par)
+			if err != nil {
+				return err
+			}
+			experiment.RenderTable(os.Stdout, tab.Title, tab.Headers, tab.Rows)
+			fmt.Printf("# %s\n", tab.Note)
+			return nil
 		})
 	}
 	if !matched {

@@ -1,0 +1,262 @@
+// Command qdpm-benchdiff is the CI benchmark-regression gate: it parses
+// `go test -bench` output and compares every benchmark against the
+// recorded BENCH_*.json baseline, failing when ns/op regresses beyond a
+// tolerance or when a zero-allocation path starts allocating.
+//
+//	go test -run '^$' -bench 'ScheduleAndFire|CTReplica|Fleet' -benchmem \
+//	    ./... | qdpm-benchdiff -baseline BENCH_pr4.json
+//
+// Benchmark names are keyed the way the BENCH files record them: the
+// package directory's last element prefixes the name (eventq/
+// BenchmarkScheduleAndFire), except for the repository root package,
+// which is unprefixed. Benchmarks missing from the baseline are reported
+// but pass, and baseline entries that did not run are ignored, so one
+// baseline can serve several partial bench invocations. -strict closes
+// both holes for pinned CI runs: it fails benchmarks missing from the
+// baseline (renames) AND baseline entries that produced no result
+// (deletions or regex un-pinning).
+//
+// Gate rules, per benchmark present in both sides:
+//
+//   - ns/op:     fail when current > baseline × (1 + ns-tol). Default
+//     ns-tol 0.25; CI passes a larger value because shared runners are
+//     noisy.
+//   - allocs/op: fail when the baseline is 0 and the current value is
+//     not — zero-allocation hot paths are a hard invariant, not a
+//     budget. Non-zero baselines fail beyond (1 + alloc-tol), default
+//     0.10, since alloc counts are near-deterministic.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "qdpm-benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// baselineEntry is one recorded benchmark in a BENCH_*.json file. Only
+// the fields the gate compares are decoded; extra fields (bytes_per_op,
+// ns_per_event, notes) are ignored.
+type baselineEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// baselineFile is the BENCH_*.json schema subset the gate reads.
+type baselineFile struct {
+	Benchmarks map[string]baselineEntry `json:"benchmarks"`
+}
+
+// result is one parsed benchmark run.
+type result struct {
+	// Key is the baseline lookup key: pkg-suffix/Name, or bare Name for
+	// the repository root package.
+	Key string
+	// NsPerOp and AllocsPerOp mirror -benchmem output (the gated
+	// figures; B/op is deliberately not gated — the allocs rule covers
+	// the hard 0-alloc invariant and byte counts track it).
+	// AllocsPerOp is -1 when the line carried no allocation figures
+	// (bench run without -benchmem).
+	NsPerOp     float64
+	AllocsPerOp float64
+}
+
+// parseBench scans `go test -bench` output, tracking `pkg:` headers to
+// key benchmarks the way the BENCH files do.
+func parseBench(r io.Reader, module string) ([]result, error) {
+	var out []result
+	prefix := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if pkg, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(pkg)
+			if pkg == module {
+				prefix = ""
+			} else if i := strings.LastIndexByte(pkg, '/'); i >= 0 {
+				prefix = pkg[i+1:] + "/"
+			} else {
+				prefix = pkg + "/"
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// Name-N iterations value unit [value unit]...
+		if len(f) < 4 || (len(f)%2 != 0) {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i]
+		}
+		res := result{Key: prefix + name, AllocsPerOp: -1}
+		seenNs := false
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", f[i], line)
+			}
+			switch f[i+1] {
+			case "ns/op":
+				res.NsPerOp, seenNs = v, true
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if !seenNs {
+			continue // a custom-metric-only line; nothing to gate
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// compare applies the gate rules and returns the failure reasons (none
+// means the benchmark passes, or has no baseline to compare against).
+func compare(res result, base *baselineEntry, nsTol, allocTol float64) []string {
+	if base == nil {
+		return nil
+	}
+	var failures []string
+	if base.NsPerOp > 0 && res.NsPerOp > base.NsPerOp*(1+nsTol) {
+		failures = append(failures, fmt.Sprintf("ns/op %.4g exceeds baseline %.4g by more than %.0f%%",
+			res.NsPerOp, base.NsPerOp, 100*nsTol))
+	}
+	if res.AllocsPerOp >= 0 {
+		switch {
+		case base.AllocsPerOp == 0 && res.AllocsPerOp > 0:
+			failures = append(failures, fmt.Sprintf("allocates %.4g allocs/op on a zero-allocation baseline path",
+				res.AllocsPerOp))
+		case base.AllocsPerOp > 0 && res.AllocsPerOp > base.AllocsPerOp*(1+allocTol):
+			failures = append(failures, fmt.Sprintf("allocs/op %.4g exceeds baseline %.4g by more than %.0f%%",
+				res.AllocsPerOp, base.AllocsPerOp, 100*allocTol))
+		}
+	}
+	return failures
+}
+
+// run drives the gate: parse, compare, report, and return an error when
+// any benchmark fails.
+func run(stdin io.Reader, stdout io.Writer, args []string) error {
+	fs := flag.NewFlagSet("qdpm-benchdiff", flag.ContinueOnError)
+	var (
+		baselinePath = fs.String("baseline", "", "BENCH_*.json file to compare against (required)")
+		nsTol        = fs.Float64("ns-tol", 0.25, "allowed fractional ns/op regression")
+		allocTol     = fs.Float64("alloc-tol", 0.10, "allowed fractional allocs/op regression on non-zero baselines")
+		strict       = fs.Bool("strict", false, "fail benchmarks missing from the baseline and baseline entries that did not run")
+		module       = fs.String("module", "repro", "module path whose root package is unprefixed in baseline keys")
+		inPath       = fs.String("in", "", "read bench output from this file instead of stdin")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *baselinePath == "" {
+		return fmt.Errorf("-baseline is required")
+	}
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", *baselinePath, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("%s carries no benchmarks", *baselinePath)
+	}
+	in := stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parseBench(in, *module)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	failed, missing := 0, 0
+	ran := make(map[string]bool, len(results))
+	for _, res := range results {
+		ran[res.Key] = true
+	}
+	unran := 0
+	if *strict {
+		keys := make([]string, 0, len(base.Benchmarks))
+		for k := range base.Benchmarks {
+			if !ran[k] {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		unran = len(keys)
+		for _, k := range keys {
+			fmt.Fprintf(stdout, "GONE %-48s recorded in baseline but produced no result\n", k)
+		}
+	}
+	for _, res := range results {
+		var bp *baselineEntry
+		if b, ok := base.Benchmarks[res.Key]; ok {
+			bp = &b
+		}
+		failures := compare(res, bp, *nsTol, *allocTol)
+		switch {
+		case bp == nil:
+			missing++
+			fmt.Fprintf(stdout, "?  %-50s %12.4g ns/op  (not in baseline)\n", res.Key, res.NsPerOp)
+		case len(failures) > 0:
+			failed++
+			fmt.Fprintf(stdout, "FAIL %-48s %12.4g ns/op vs %.4g baseline\n", res.Key, res.NsPerOp, bp.NsPerOp)
+			for _, f := range failures {
+				fmt.Fprintf(stdout, "     %s\n", f)
+			}
+		default:
+			delta := 0.0
+			if bp.NsPerOp > 0 {
+				delta = 100 * (res.NsPerOp - bp.NsPerOp) / bp.NsPerOp
+			}
+			fmt.Fprintf(stdout, "ok   %-48s %12.4g ns/op  (%+.1f%% vs baseline)\n", res.Key, res.NsPerOp, delta)
+		}
+	}
+	fmt.Fprintf(stdout, "%d benchmarks: %d compared, %d missing from baseline, %d failed\n",
+		len(results), len(results)-missing, missing, failed)
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond tolerance", failed)
+	}
+	if *strict && missing > 0 {
+		return fmt.Errorf("%d benchmark(s) missing from baseline (strict mode)", missing)
+	}
+	if *strict && unran > 0 {
+		return fmt.Errorf("%d baseline benchmark(s) produced no result (strict mode)", unran)
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCTReplicaTableCell 	     100	    675788 ns/op	    1568 B/op	      29 allocs/op
+BenchmarkFleet1kCT 	       3	  37021045 ns/op	     27012 devices/s	    335995 events/op	       110.2 ns/event	 1902856 B/op	   20019 allocs/op
+PASS
+pkg: repro/internal/eventq
+BenchmarkScheduleAndFire-4   	85702724	        12.74 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNotInBaseline-4     	     100	       100.0 ns/op	       0 B/op	       0 allocs/op
+ok  	repro/internal/eventq	1.2s
+`
+
+const sampleBaseline = `{
+  "benchmarks": {
+    "BenchmarkCTReplicaTableCell": {"ns_per_op": 675788, "bytes_per_op": 1568, "allocs_per_op": 29},
+    "BenchmarkFleet1kCT": {"ns_per_op": 37021045, "bytes_per_op": 1902856, "allocs_per_op": 20019},
+    "eventq/BenchmarkScheduleAndFire": {"ns_per_op": 12.74, "bytes_per_op": 0, "allocs_per_op": 0},
+    "BenchmarkNeverRan": {"ns_per_op": 1, "bytes_per_op": 0, "allocs_per_op": 0}
+  }
+}`
+
+// writeBaseline drops a baseline file into a temp dir.
+func writeBaseline(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestParseBenchKeysAndFields: names are keyed by package suffix (root
+// package unprefixed), the -N worker suffix is stripped, and custom
+// metrics do not confuse the ns/B/allocs extraction.
+func TestParseBenchKeysAndFields(t *testing.T) {
+	res, err := parseBench(strings.NewReader(sampleBench), "repro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(res), res)
+	}
+	byKey := map[string]result{}
+	for _, r := range res {
+		byKey[r.Key] = r
+	}
+	cell := byKey["BenchmarkCTReplicaTableCell"]
+	if cell.NsPerOp != 675788 || cell.AllocsPerOp != 29 {
+		t.Fatalf("root benchmark misparsed: %+v", cell)
+	}
+	fleet := byKey["BenchmarkFleet1kCT"]
+	if fleet.NsPerOp != 37021045 || fleet.AllocsPerOp != 20019 {
+		t.Fatalf("custom-metric benchmark misparsed: %+v", fleet)
+	}
+	sched := byKey["eventq/BenchmarkScheduleAndFire"]
+	if sched.NsPerOp != 12.74 || sched.AllocsPerOp != 0 {
+		t.Fatalf("pkg-prefixed benchmark misparsed: %+v", sched)
+	}
+}
+
+// TestGatePasses: a run matching its baseline exits clean and reports
+// missing benchmarks without failing them.
+func TestGatePasses(t *testing.T) {
+	base := writeBaseline(t, sampleBaseline)
+	var out bytes.Buffer
+	err := run(strings.NewReader(sampleBench), &out, []string{"-baseline", base})
+	if err != nil {
+		t.Fatalf("gate failed on matching run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "not in baseline") {
+		t.Fatalf("missing-benchmark report absent:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "3 compared, 1 missing") {
+		t.Fatalf("summary line wrong:\n%s", out.String())
+	}
+}
+
+// TestGateFailsOnNsRegression: ns/op beyond tolerance fails the gate.
+func TestGateFailsOnNsRegression(t *testing.T) {
+	base := writeBaseline(t, `{"benchmarks": {
+		"eventq/BenchmarkScheduleAndFire": {"ns_per_op": 9.0, "bytes_per_op": 0, "allocs_per_op": 0}}}`)
+	var out bytes.Buffer
+	err := run(strings.NewReader(sampleBench), &out, []string{"-baseline", base, "-ns-tol", "0.25"})
+	if err == nil {
+		t.Fatalf("12.74 ns/op vs 9.0 baseline passed a 25%% gate:\n%s", out.String())
+	}
+	// The same regression passes a looser gate.
+	out.Reset()
+	if err := run(strings.NewReader(sampleBench), &out, []string{"-baseline", base, "-ns-tol", "0.60"}); err != nil {
+		t.Fatalf("60%% gate rejected a 42%% regression: %v", err)
+	}
+}
+
+// TestGateFailsOnAllocRegression: any allocation on a zero-alloc
+// baseline fails regardless of tolerance; non-zero baselines use the
+// fractional tolerance.
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	bench := `pkg: repro/internal/eventq
+BenchmarkScheduleAndFire-4  	 1000000	        12.00 ns/op	       8 B/op	       1 allocs/op
+`
+	base := writeBaseline(t, `{"benchmarks": {
+		"eventq/BenchmarkScheduleAndFire": {"ns_per_op": 12.74, "bytes_per_op": 0, "allocs_per_op": 0}}}`)
+	var out bytes.Buffer
+	err := run(strings.NewReader(bench), &out, []string{"-baseline", base, "-alloc-tol", "1000"})
+	if err == nil {
+		t.Fatalf("allocation on a 0-alloc path passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "zero-allocation baseline") {
+		t.Fatalf("failure reason wrong:\n%s", out.String())
+	}
+
+	// Non-zero baseline: within tolerance passes, beyond fails.
+	bench2 := `pkg: repro
+BenchmarkCTReplicaTableCell 	     100	    675788 ns/op	    1568 B/op	      31 allocs/op
+`
+	base2 := writeBaseline(t, `{"benchmarks": {
+		"BenchmarkCTReplicaTableCell": {"ns_per_op": 675788, "bytes_per_op": 1568, "allocs_per_op": 29}}}`)
+	out.Reset()
+	if err := run(strings.NewReader(bench2), &out, []string{"-baseline", base2}); err != nil {
+		t.Fatalf("31 vs 29 allocs failed a 10%% gate: %v", err)
+	}
+	out.Reset()
+	if err := run(strings.NewReader(bench2), &out, []string{"-baseline", base2, "-alloc-tol", "0.01"}); err == nil {
+		t.Fatalf("31 vs 29 allocs passed a 1%% gate:\n%s", out.String())
+	}
+}
+
+// TestGateStrictAndErrors: strict mode fails missing benchmarks and
+// baseline entries that did not run; bad inputs error out.
+func TestGateStrictAndErrors(t *testing.T) {
+	base := writeBaseline(t, sampleBaseline)
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleBench), &out, []string{"-baseline", base, "-strict"}); err == nil {
+		t.Fatal("strict mode passed with a missing benchmark")
+	}
+
+	// Deletion hole: every run-side benchmark is in the baseline, but a
+	// pinned baseline entry produced no result — strict must fail, and
+	// non-strict must pass (partial invocations stay supported).
+	bench := `pkg: repro/internal/eventq
+BenchmarkScheduleAndFire-4   	85702724	        12.74 ns/op	       0 B/op	       0 allocs/op
+`
+	delBase := writeBaseline(t, `{"benchmarks": {
+		"eventq/BenchmarkScheduleAndFire": {"ns_per_op": 12.74, "bytes_per_op": 0, "allocs_per_op": 0},
+		"eventq/BenchmarkDeleted": {"ns_per_op": 1, "bytes_per_op": 0, "allocs_per_op": 0}}}`)
+	out.Reset()
+	if err := run(strings.NewReader(bench), &out, []string{"-baseline", delBase, "-strict"}); err == nil {
+		t.Fatalf("strict mode passed with a deleted pinned benchmark:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "GONE eventq/BenchmarkDeleted") {
+		t.Fatalf("deleted benchmark not reported:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run(strings.NewReader(bench), &out, []string{"-baseline", delBase}); err != nil {
+		t.Fatalf("non-strict mode failed a partial run: %v", err)
+	}
+	if err := run(strings.NewReader(sampleBench), &out, nil); err == nil {
+		t.Fatal("missing -baseline accepted")
+	}
+	if err := run(strings.NewReader("no benchmarks here"), &out, []string{"-baseline", base}); err == nil {
+		t.Fatal("empty bench input accepted")
+	}
+	empty := writeBaseline(t, `{"benchmarks": {}}`)
+	if err := run(strings.NewReader(sampleBench), &out, []string{"-baseline", empty}); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+	malformed := writeBaseline(t, `{"benchmarks"`)
+	if err := run(strings.NewReader(sampleBench), &out, []string{"-baseline", malformed}); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+}

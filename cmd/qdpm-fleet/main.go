@@ -1,0 +1,221 @@
+// Command qdpm-fleet simulates a fleet of heterogeneous power-managed
+// devices — catalog devices under mixed interarrival laws and mixed
+// policies — sharded across the worker pool, and reports fleet-level
+// energy, latency percentiles, loss, and per-class/per-policy
+// breakdowns:
+//
+//	qdpm-fleet -devices 10000                      # canonical mix, CT kernel
+//	qdpm-fleet -devices 2000 -mode slot            # slotted kernel
+//	qdpm-fleet -mix hdd:exp:0.08:timeout=8:2,wlan:hyperexp:2:q-dpm
+//	qdpm-fleet -devices 5000 -replicas 4 -json     # machine-readable output
+//
+// Output on stdout is bit-identical for every -parallel value (CI diffs
+// serial against pooled); wall-clock throughput goes to stderr.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/experiment"
+	"repro/internal/fleet"
+)
+
+func main() {
+	if err := run(context.Background(), os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "qdpm-fleet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args, executes the fleet, and writes the report to w.
+func run(ctx context.Context, w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("qdpm-fleet", flag.ContinueOnError)
+	var (
+		devices  = fs.Int("devices", 1000, "number of device instances")
+		mixStr   = fs.String("mix", "", "fleet mix: device:dist:rate:policy[:weight],... (default: canonical heterogeneous mix)")
+		mode     = fs.String("mode", "ct", "simulation kernel: ct (event-driven) or slot (discrete-time)")
+		horizon  = fs.Float64("horizon", 400, "per-instance horizon in seconds")
+		period   = fs.Float64("period", 0, "governor tick / slot duration in seconds (0 = canonical 0.5)")
+		queueCap = fs.Int("qcap", 0, "queue capacity per instance (0 = canonical 8)")
+		latW     = fs.Float64("latw", 0, "latency weight in J per request-slot (0 = canonical 0.3)")
+		shard    = fs.Int("shard", 0, "instances per pool job (0 = default 128)")
+		seed     = fs.Uint64("seed", 1, "base seed; replica seeds derive from it")
+		replicas = fs.Int("replicas", 1, "independent fleet replications to pool")
+		parallel = fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS, 1 = serial)")
+		asJSON   = fs.Bool("json", false, "emit a JSON report instead of the table")
+		progress = fs.Bool("progress", false, "print shard completion progress to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	classes := fleet.DefaultMix()
+	if *mixStr != "" {
+		var err error
+		if classes, err = fleet.ParseMix(*mixStr); err != nil {
+			return err
+		}
+	}
+	if *replicas < 1 {
+		return fmt.Errorf("replicas %d must be >= 1", *replicas)
+	}
+	sc := experiment.FleetScenario{
+		Name: "fleet",
+		Spec: fleet.Spec{
+			Devices:       *devices,
+			Classes:       classes,
+			Mode:          fleet.Mode(*mode),
+			Horizon:       *horizon,
+			Period:        *period,
+			QueueCap:      *queueCap,
+			LatencyWeight: *latW,
+			ShardSize:     *shard,
+		},
+	}
+	par := experiment.Parallel{Workers: *parallel}
+	if *progress {
+		par.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d shards", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	// Ctrl-C cancels the pool; shards poll the context between chunks.
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	sum, err := experiment.RunFleetReplicatedCtx(ctx, sc, engine.DeriveSeeds(*seed, *replicas), par)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if *asJSON {
+		if err := writeJSON(w, sum); err != nil {
+			return err
+		}
+	} else {
+		tab, err := experiment.FleetTable(sum)
+		if err != nil {
+			return err
+		}
+		experiment.RenderTable(w, tab.Title, tab.Headers, tab.Rows)
+		fmt.Fprintf(w, "# %s\n", tab.Note)
+	}
+	// Wall-clock figures of merit go to stderr: stdout must stay
+	// bit-identical across -parallel values.
+	fmt.Fprintf(os.Stderr, "# %d devices in %v — %.0f devices/s, %.1f ns/event\n",
+		sum.Fleet.Devices, elapsed.Round(time.Millisecond),
+		float64(sum.Fleet.Devices)/elapsed.Seconds(),
+		float64(elapsed.Nanoseconds())/float64(max(sum.Fleet.Events, 1)))
+	return nil
+}
+
+// jsonGroup is one aggregate row of the JSON report.
+type jsonGroup struct {
+	Name            string  `json:"name"`
+	Policy          string  `json:"policy"`
+	Instances       int64   `json:"instances"`
+	PowerW          float64 `json:"power_w"`
+	PowerCI95       float64 `json:"power_ci95"`
+	EnergyReduction float64 `json:"energy_reduction"`
+	MeanWaitSec     float64 `json:"mean_wait_sec"`
+	LossRate        float64 `json:"loss_rate"`
+}
+
+// jsonReport is the machine-readable fleet report.
+type jsonReport struct {
+	Mode        string      `json:"mode"`
+	Devices     int64       `json:"devices"`
+	Replicas    int         `json:"replicas"`
+	HorizonSec  float64     `json:"horizon_sec"`
+	Shards      int         `json:"shards"`
+	EnergyJ     float64     `json:"energy_j"`
+	PowerW      float64     `json:"power_w"`
+	Arrived     int64       `json:"arrived"`
+	Served      int64       `json:"served"`
+	Lost        int64       `json:"lost"`
+	Events      uint64      `json:"events"`
+	LossOverall float64     `json:"loss_overall"`
+	MeanWaitSec float64     `json:"mean_wait_sec"`
+	WaitP50Sec  float64     `json:"wait_p50_sec"`
+	WaitP90Sec  float64     `json:"wait_p90_sec"`
+	WaitP99Sec  float64     `json:"wait_p99_sec"`
+	Classes     []jsonGroup `json:"classes"`
+	Policies    []jsonGroup `json:"policies"`
+}
+
+// group flattens a ClassStats for JSON.
+func group(c *fleet.ClassStats) jsonGroup {
+	return jsonGroup{
+		Name:            c.Name,
+		Policy:          c.Policy,
+		Instances:       c.Instances,
+		PowerW:          c.AvgPowerW.Mean(),
+		PowerCI95:       c.AvgPowerW.CI95(),
+		EnergyReduction: c.EnergyReduction.Mean(),
+		MeanWaitSec:     c.MeanWaitSec.Mean(),
+		LossRate:        c.LossRate.Mean(),
+	}
+}
+
+// writeJSON emits the report; percentile computation is the only
+// fallible step (empty fleets cannot happen past validation).
+func writeJSON(w io.Writer, sum *experiment.FleetSummary) error {
+	q := func(p float64) (float64, error) { return sum.Fleet.WaitQuantile(p) }
+	p50, err := q(0.50)
+	if err != nil {
+		return err
+	}
+	p90, err := q(0.90)
+	if err != nil {
+		return err
+	}
+	p99, err := q(0.99)
+	if err != nil {
+		return err
+	}
+	rep := jsonReport{
+		Mode:        string(sum.Fleet.Mode),
+		Devices:     sum.Fleet.Devices,
+		Replicas:    sum.Replicas,
+		HorizonSec:  sum.Fleet.HorizonSec,
+		Shards:      sum.Fleet.Shards,
+		EnergyJ:     sum.Fleet.EnergyJ,
+		PowerW:      sum.Fleet.AvgPowerW.Mean(),
+		Arrived:     sum.Fleet.Arrived,
+		Served:      sum.Fleet.Served,
+		Lost:        sum.Fleet.Lost,
+		Events:      sum.Fleet.Events,
+		LossOverall: sum.Fleet.LossOverall(),
+		MeanWaitSec: sum.Fleet.MeanWaitSec.Mean(),
+		WaitP50Sec:  p50,
+		WaitP90Sec:  p90,
+		WaitP99Sec:  p99,
+	}
+	for i := range sum.Fleet.Classes {
+		rep.Classes = append(rep.Classes, group(&sum.Fleet.Classes[i]))
+	}
+	perPol := sum.Fleet.PerPolicy()
+	for i := range perPol {
+		rep.Policies = append(rep.Policies, group(&perPol[i]))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

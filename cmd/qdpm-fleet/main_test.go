@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunDeterministicAcrossPools: the CLI's stdout is bit-identical
+// between serial and pooled runs — the property CI diffs.
+func TestRunDeterministicAcrossPools(t *testing.T) {
+	base := []string{"-devices", "60", "-horizon", "40", "-seed", "5"}
+	var serial, pooled bytes.Buffer
+	if err := run(context.Background(), &serial, append(base, "-parallel", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), &pooled, append(base, "-parallel", "4")); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != pooled.String() {
+		t.Fatalf("output differs between -parallel 1 and 4:\n%s\nvs\n%s", serial.String(), pooled.String())
+	}
+	if !strings.Contains(serial.String(), "Table Fleet") {
+		t.Fatalf("missing table header:\n%s", serial.String())
+	}
+}
+
+// TestRunJSONReport: the -json report parses and its totals are
+// consistent with the flags.
+func TestRunJSONReport(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-devices", "30", "-horizon", "30", "-mode", "slot", "-replicas", "2", "-json"}
+	if err := run(context.Background(), &out, args); err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if rep.Devices != 60 || rep.Replicas != 2 || rep.Mode != "slot" {
+		t.Fatalf("report totals wrong: %+v", rep)
+	}
+	if len(rep.Classes) != 4 || len(rep.Policies) != 3 {
+		t.Fatalf("report breakdowns wrong: %d classes, %d policies", len(rep.Classes), len(rep.Policies))
+	}
+	if rep.WaitP99Sec < rep.WaitP50Sec {
+		t.Fatalf("wait percentiles disordered: %+v", rep)
+	}
+}
+
+// TestRunCustomMix: -mix overrides the canonical classes.
+func TestRunCustomMix(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-devices", "10", "-horizon", "20",
+		"-mix", "hdd:exp:0.08:timeout=4,wlan:exp:1:greedy-off", "-json"}
+	if err := run(context.Background(), &out, args); err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Classes) != 2 {
+		t.Fatalf("custom mix produced %d classes, want 2", len(rep.Classes))
+	}
+	if rep.Classes[0].Policy != "timeout=4" || rep.Classes[1].Policy != "greedy-off" {
+		t.Fatalf("custom mix policies wrong: %+v", rep.Classes)
+	}
+}
+
+// TestRunRejectsBadFlags: malformed inputs error out instead of
+// producing a half-configured fleet.
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mix", "hdd:exp"},
+		{"-mode", "quantum"},
+		{"-devices", "0"},
+		{"-replicas", "0"},
+		{"-horizon", "-1"},
+	} {
+		var out bytes.Buffer
+		if err := run(context.Background(), &out, args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -35,6 +35,7 @@
 package ctsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -394,6 +395,31 @@ func (s *Sim) Run(until float64) error {
 		return fmt.Errorf("ctsim: horizon %v precedes current time %v", until, s.k.Now())
 	}
 	return s.k.Run(until)
+}
+
+// RunChunked advances the simulation from the current clock to horizon
+// in chunks of chunk simulated seconds, polling ctx between chunks so
+// cancellation latency is bounded by one chunk. It is the shared
+// replica-execution loop of the experiment and fleet layers; metrics
+// accumulate exactly as with Run.
+func (s *Sim) RunChunked(ctx context.Context, horizon, chunk float64) error {
+	if !(chunk > 0) {
+		return fmt.Errorf("ctsim: chunk %v must be positive", chunk)
+	}
+	for until := s.k.Now() + chunk; ; until += chunk {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if until > horizon {
+			until = horizon
+		}
+		if err := s.Run(until); err != nil {
+			return err
+		}
+		if until >= horizon {
+			return nil
+		}
+	}
 }
 
 // Metrics accrues energy and backlog up to the current clock and returns a

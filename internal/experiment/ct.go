@@ -100,20 +100,8 @@ func runCTReplica(ctx context.Context, sc CTScenario, pf PolicyFactory, seed uin
 	} else if err = ws.sim.Reset(cfg); err != nil {
 		return err
 	}
-	chunk := sc.Period * ctCancelChunkTicks
-	for until := chunk; ; until += chunk {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if until > sc.Horizon {
-			until = sc.Horizon
-		}
-		if err := ws.sim.Run(until); err != nil {
-			return err
-		}
-		if until >= sc.Horizon {
-			break
-		}
+	if err := ws.sim.RunChunked(ctx, sc.Horizon, sc.Period*ctCancelChunkTicks); err != nil {
+		return err
 	}
 	ws.sim.MetricsInto(&ws.metrics)
 	return nil

@@ -1,0 +1,193 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/fleet"
+	"repro/internal/stats"
+)
+
+// FleetScenario describes one replicated fleet experiment: a fleet spec
+// whose Seed field is replaced per replica.
+type FleetScenario struct {
+	// Name labels the scenario.
+	Name string
+	// Spec is the fleet under test (Spec.Seed is overridden per replica).
+	Spec fleet.Spec
+}
+
+// Validate checks the scenario.
+func (sc *FleetScenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("experiment: fleet scenario needs a name")
+	}
+	return sc.Spec.Validate()
+}
+
+// FleetSummary pools replicated fleet runs: one sample per replica of
+// each fleet-level mean, plus the fleet summaries themselves merged in
+// seed order (so per-class breakdowns and wait percentiles cover every
+// instance of every replica).
+type FleetSummary struct {
+	Scenario string
+	// Replicas is the number of pooled fleet runs.
+	Replicas int
+	// AvgPowerW, EnergyReduction, MeanWaitSec, and LossRate pool one
+	// fleet-mean sample per replica.
+	AvgPowerW       stats.Running
+	EnergyReduction stats.Running
+	MeanWaitSec     stats.Running
+	LossRate        stats.Running
+	// Fleet merges every replica's fleet summary in seed order.
+	Fleet fleet.Summary
+}
+
+// addReplica folds one fleet run into the summary.
+func (s *FleetSummary) addReplica(f *fleet.Summary) {
+	s.Replicas++
+	s.AvgPowerW.Add(f.AvgPowerW.Mean())
+	s.EnergyReduction.Add(f.EnergyReduction.Mean())
+	s.MeanWaitSec.Add(f.MeanWaitSec.Mean())
+	s.LossRate.Add(f.LossRate.Mean())
+	s.Fleet.Merge(f)
+}
+
+// Merge combines another summary (same scenario) into s, with the same
+// bit-identical singleton-merge property as Summary.Merge.
+func (s *FleetSummary) Merge(o *FleetSummary) {
+	if s.Scenario == "" {
+		s.Scenario = o.Scenario
+	}
+	s.Replicas += o.Replicas
+	s.AvgPowerW.Merge(&o.AvgPowerW)
+	s.EnergyReduction.Merge(&o.EnergyReduction)
+	s.MeanWaitSec.Merge(&o.MeanWaitSec)
+	s.LossRate.Merge(&o.LossRate)
+	s.Fleet.Merge(&o.Fleet)
+}
+
+// RunFleetReplicated executes one fleet run per seed on a GOMAXPROCS
+// pool and pools the results.
+func RunFleetReplicated(sc FleetScenario, seeds []uint64) (*FleetSummary, error) {
+	return RunFleetReplicatedCtx(context.Background(), sc, seeds, Parallel{})
+}
+
+// RunFleetReplicatedCtx is RunFleetReplicated with cancellation and pool
+// control. Replicas run back to back in seed order — the parallelism
+// lives inside each fleet run, which fans its shards across the pool —
+// and fold in seed order, so the result honours the repository
+// determinism contract: bit-identical output for every -parallel value.
+func RunFleetReplicatedCtx(ctx context.Context, sc FleetScenario, seeds []uint64, par Parallel) (*FleetSummary, error) {
+	if len(seeds) == 0 {
+		return nil, errNoSeeds
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	sum := &FleetSummary{Scenario: sc.Name}
+	for _, seed := range seeds {
+		spec := sc.Spec
+		spec.Seed = seed
+		f, err := fleet.Run(ctx, spec, par.pool())
+		if err != nil {
+			return nil, err
+		}
+		sum.addReplica(f)
+	}
+	return sum, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table Fleet — fleet-scale mixed-workload comparison
+
+// TableFleet runs the canonical heterogeneous fleet (DefaultMix) at the
+// given scale and renders per-class and per-policy aggregates plus
+// fleet-level wait percentiles.
+func TableFleet(devices int, horizon float64, mode fleet.Mode, seeds []uint64) (*Table, error) {
+	return TableFleetCtx(context.Background(), devices, horizon, mode, seeds, Parallel{})
+}
+
+// TableFleetCtx is TableFleet with cancellation and pool control; output
+// is bit-identical for every -parallel value.
+func TableFleetCtx(ctx context.Context, devices int, horizon float64, mode fleet.Mode, seeds []uint64, par Parallel) (*Table, error) {
+	sc := FleetScenario{
+		Name: "fleet",
+		Spec: fleet.Spec{
+			Devices: devices,
+			Classes: fleet.DefaultMix(),
+			Mode:    mode,
+			Horizon: horizon,
+		},
+	}
+	sum, err := RunFleetReplicatedCtx(ctx, sc, seeds, par)
+	if err != nil {
+		return nil, err
+	}
+	return FleetTable(sum)
+}
+
+// FleetTable renders a pooled fleet summary as per-class rows, per-policy
+// rollups, a fleet-total row, and a note carrying the fleet-level wait
+// percentiles. The output is a pure function of the summary, so it is
+// bit-identical across -parallel values whenever the summary is.
+func FleetTable(sum *FleetSummary) (*Table, error) {
+	replicas := sum.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	// Fleet.Devices accumulates across replicas; the title names the
+	// per-replica fleet size, matching the note.
+	t := &Table{
+		Title: fmt.Sprintf("Table Fleet — %d heterogeneous devices (%s kernel)",
+			sum.Fleet.Devices/int64(replicas), sum.Fleet.Mode),
+		Headers: []string{"group", "policy", "instances", "power (W)", "±95%", "wait (s)", "loss", "energy red."},
+	}
+	row := func(name string, c *fleet.ClassStats) {
+		t.Rows = append(t.Rows, []string{
+			name,
+			c.Policy,
+			fmt.Sprintf("%d", c.Instances),
+			fmt.Sprintf("%.4f", c.AvgPowerW.Mean()),
+			fmt.Sprintf("%.4f", c.AvgPowerW.CI95()),
+			fmt.Sprintf("%.3f", c.MeanWaitSec.Mean()),
+			fmt.Sprintf("%.2f%%", 100*c.LossRate.Mean()),
+			fmt.Sprintf("%.1f%%", 100*c.EnergyReduction.Mean()),
+		})
+	}
+	for i := range sum.Fleet.Classes {
+		row(sum.Fleet.Classes[i].Name, &sum.Fleet.Classes[i])
+	}
+	perPol := sum.Fleet.PerPolicy()
+	for i := range perPol {
+		row("policy="+perPol[i].Policy, &perPol[i])
+	}
+	fl := &fleet.ClassStats{
+		Name:            "fleet",
+		Policy:          "-",
+		Instances:       sum.Fleet.Devices,
+		AvgPowerW:       sum.Fleet.AvgPowerW,
+		EnergyReduction: sum.Fleet.EnergyReduction,
+		MeanWaitSec:     sum.Fleet.MeanWaitSec,
+		LossRate:        sum.Fleet.LossRate,
+	}
+	row("fleet", fl)
+	p50, err := sum.Fleet.WaitQuantile(0.50)
+	if err != nil {
+		return nil, err
+	}
+	p90, err := sum.Fleet.WaitQuantile(0.90)
+	if err != nil {
+		return nil, err
+	}
+	p99, err := sum.Fleet.WaitQuantile(0.99)
+	if err != nil {
+		return nil, err
+	}
+	t.Note = fmt.Sprintf(
+		"%d devices × %d replicas over %.0f s, %d shards/replica, %d events; instance wait p50/p90/p99 = %.3f/%.3f/%.3f s; overall loss %.2f%%",
+		sum.Fleet.Devices/int64(replicas), replicas, sum.Fleet.HorizonSec,
+		sum.Fleet.Shards/replicas, sum.Fleet.Events,
+		p50, p90, p99, 100*sum.Fleet.LossOverall())
+	return t, nil
+}

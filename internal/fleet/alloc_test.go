@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/ctsim"
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// instanceSim builds instance i's CT simulator exactly the way
+// runInstanceCT does — same config, same stream layout — so the alloc
+// gate measures the real fleet hot path.
+func instanceSim(t testing.TB, r *runner, i int) *ctsim.Sim {
+	t.Helper()
+	cc := &r.classes[r.classOf(i)]
+	root := rng.New(r.seeds[i])
+	polStream := root.Split()
+	simStream := root.Split()
+	pol, err := buildSlotPolicy(cc, r.spec.QueueCap, r.spec.LatencyWeight, polStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dist.ByName(cc.src.Dist, cc.src.RatePerSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := ctsim.NewRenewalSource(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := ctsim.New(ctsim.Config{
+		Device:         cc.src.Device,
+		QueueCap:       r.spec.QueueCap,
+		LatencyWeight:  r.spec.LatencyWeight / r.spec.Period,
+		Policy:         ctsim.Adapt(pol, r.spec.Period),
+		Source:         src,
+		Stream:         simStream,
+		DecisionPeriod: r.spec.Period,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// TestFleetCTEventLoopAllocationFree is the fleet acceptance gate for
+// the CT hot path: for every class of the default mix — fixed timeout,
+// greedy-off, and the adapted Q-DPM learner included — the steady-state
+// event loop of a fleet instance performs zero heap allocations. Part
+// of the CI allocation-regression step (AllocationFree name match).
+func TestFleetCTEventLoopAllocationFree(t *testing.T) {
+	spec := Spec{Devices: 8, Classes: DefaultMix(), Mode: ModeCT, Horizon: 1e9, Seed: 3}
+	r, err := newRunner(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range r.classes {
+		// The pattern interleaves classes; instance index ci of the first
+		// weight cycle may not hit class ci, so search for one that does.
+		inst := -1
+		for i := 0; i < len(r.pattern); i++ {
+			if r.classOf(i) == ci {
+				inst = i
+				break
+			}
+		}
+		t.Run(r.classes[ci].name, func(t *testing.T) {
+			sim := instanceSim(t, r, inst)
+			until := 2048.0
+			if err := sim.Run(until); err != nil { // warm: ring growth, learner tables
+				t.Fatal(err)
+			}
+			var scratch ctsim.Metrics
+			sim.MetricsInto(&scratch)
+			allocs := testing.AllocsPerRun(20, func() {
+				until += 256
+				if err := sim.Run(until); err != nil {
+					t.Fatal(err)
+				}
+				sim.MetricsInto(&scratch)
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state fleet CT loop allocates %.1f times per 256 s chunk", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkFleetInstanceCT measures one full fleet CT instance through
+// the worker reuse path (Reset, run, MetricsInto), reporting ns/event.
+// One op = one instance at a 512 s horizon.
+func BenchmarkFleetInstanceCT(b *testing.B) {
+	spec := Spec{Devices: 64, Classes: DefaultMix(), Mode: ModeCT, Horizon: 512, Seed: 5}
+	r, err := newRunner(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ws workerScratch
+	sum := newSummary(r, 1)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum.Waits = sum.Waits[:0]
+		if err := r.runInstanceCT(ctx, i%spec.Devices, &ws, sum); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if sum.Events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(sum.Events), "ns/event")
+		b.ReportMetric(float64(sum.Events)/float64(b.N), "events/op")
+	}
+}

@@ -1,0 +1,438 @@
+// Package fleet is the multi-device simulation layer: it instantiates N
+// heterogeneous (device, workload, policy) instances — drawn from the
+// device catalog and the dist interarrival recipes, each with its own
+// derived seed — shards them into fixed-size blocks, and runs the shards
+// across the engine worker pool, streaming per-shard aggregates that
+// merge into fleet-level results.
+//
+// The paper studies one service provider; the ROADMAP north star is a
+// production-scale system serving millions of users. fleet is the layer
+// between: a single call simulates thousands of independent power-managed
+// devices under mixed workloads and mixed policies and reports fleet-wide
+// energy, latency percentiles, loss, and per-class/per-policy breakdowns.
+//
+// Determinism contract (the repository-wide one, extended to fleets):
+//
+//   - Instance i's randomness is a pure function of (Spec.Seed, i): the
+//     per-instance seed comes from engine.DeriveSeeds, and the instance's
+//     root stream splits into policy and simulator streams exactly like
+//     the experiment layer's replicas, so a fleet instance with seed s is
+//     bit-identical to a single-replica run with seed s.
+//   - The shard decomposition depends only on (Spec.Devices,
+//     Spec.ShardSize) — never on the worker count — and shard summaries
+//     are reduced in shard-index order. A pooled run is therefore
+//     bit-identical to a serial run for every -parallel value (CI diffs
+//     qdpm-fleet output across pool sizes).
+//   - Workers reuse one ctsim.Sim and one metrics scratch across the
+//     shards they run (ctsim.Sim.Reset is bit-identical to a fresh
+//     build), so per-worker state never influences results — it only
+//     keeps instance turnover off the allocator. In CT mode the event
+//     loop itself is allocation-free in steady state (see
+//     TestFleetCTEventLoopAllocationFree).
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/ctsim"
+	"repro/internal/device"
+	"repro/internal/dist"
+	"repro/internal/engine"
+	"repro/internal/rng"
+	"repro/internal/slotsim"
+	"repro/internal/workload"
+)
+
+// Mode selects the simulation kernel a fleet runs on.
+type Mode string
+
+const (
+	// ModeCT runs every instance on the continuous-time event kernel
+	// (ctsim) under the periodic governor. This is the default: it is the
+	// production-shaped path (real-valued arrival times, physical
+	// transition latencies) and its event loop is allocation-free.
+	ModeCT Mode = "ct"
+	// ModeSlot runs every instance on the slotted simulator with the
+	// class's interarrival law binned into per-slot counts — the
+	// discretization the paper studies, at fleet scale.
+	ModeSlot Mode = "slot"
+)
+
+// Class describes one homogeneous sub-population of the fleet: a catalog
+// device under an interarrival law, managed by a named policy. Instances
+// are assigned to classes by weighted round-robin over the instance
+// index, so the assignment is a pure function of the Spec.
+type Class struct {
+	// Device is the managed physical PSM (a catalog entry or a custom
+	// one).
+	Device *device.PSM
+	// Dist names the interarrival law (a dist.ByName key: exp, pareto,
+	// weibull, erlang, hyperexp, uniform).
+	Dist string
+	// RatePerSec is the long-run arrival rate in requests per second.
+	RatePerSec float64
+	// Policy names the power-management policy (a Policies key, e.g.
+	// "timeout=8" or "q-dpm").
+	Policy string
+	// Weight is the class's share of instances (>= 1; default 1).
+	Weight int
+}
+
+// Name returns the class's display label, device:dist@rate/policy.
+func (c *Class) Name() string {
+	return fmt.Sprintf("%s:%s@%g/%s", c.Device.Name, c.Dist, c.RatePerSec, c.Policy)
+}
+
+// validate checks one class and fills its weight default.
+func (c *Class) validate(i int) error {
+	if c.Device == nil {
+		return fmt.Errorf("fleet: class %d needs a device", i)
+	}
+	if _, err := dist.ByName(c.Dist, 1); err != nil {
+		return fmt.Errorf("fleet: class %d: %w", i, err)
+	}
+	if !(c.RatePerSec > 0) || math.IsInf(c.RatePerSec, 0) {
+		return fmt.Errorf("fleet: class %d rate %v must be positive and finite", i, c.RatePerSec)
+	}
+	if _, _, err := parsePolicy(c.Policy); err != nil {
+		return fmt.Errorf("fleet: class %d: %w", i, err)
+	}
+	if c.Weight < 0 {
+		return fmt.Errorf("fleet: class %d weight %d must be >= 0", i, c.Weight)
+	}
+	if c.Weight == 0 {
+		c.Weight = 1
+	}
+	return nil
+}
+
+// Spec describes one fleet run. The zero values of Period, QueueCap,
+// LatencyWeight, ShardSize, and Mode take the canonical defaults
+// (Validate fills them in).
+type Spec struct {
+	// Devices is the number of instances.
+	Devices int
+	// Classes is the heterogeneity mix (see ParseMix / DefaultMix).
+	Classes []Class
+	// Mode selects the kernel: ModeCT (default) or ModeSlot.
+	Mode Mode
+	// Horizon is each instance's run length in seconds.
+	Horizon float64
+	// Period is the governor tick / slot duration in seconds (default
+	// 0.5, the canonical slot).
+	Period float64
+	// QueueCap bounds each instance's queue (default 8).
+	QueueCap int
+	// LatencyWeight scalarizes backlog into cost, in J per request-slot
+	// (default 0.3); CT mode rescales it to J per request-second.
+	LatencyWeight float64
+	// ShardSize is the number of instances per pool job (default 128).
+	// It shapes scheduling granularity only — results are independent of
+	// it in the aggregate, but the shard decomposition is part of the
+	// summary's merge tree, so keep it fixed when comparing runs.
+	ShardSize int
+	// Seed roots the per-instance seed derivation.
+	Seed uint64
+}
+
+const (
+	defaultPeriod        = 0.5
+	defaultQueueCap      = 8
+	defaultLatencyWeight = 0.3
+	defaultShardSize     = 128
+)
+
+// Validate checks the spec and fills defaults (it mutates the receiver).
+func (sp *Spec) Validate() error {
+	if sp.Devices <= 0 {
+		return fmt.Errorf("fleet: device count %d must be positive", sp.Devices)
+	}
+	if len(sp.Classes) == 0 {
+		return fmt.Errorf("fleet: spec needs at least one class")
+	}
+	if sp.Mode == "" {
+		sp.Mode = ModeCT
+	}
+	if sp.Mode != ModeCT && sp.Mode != ModeSlot {
+		return fmt.Errorf("fleet: unknown mode %q (want %q or %q)", sp.Mode, ModeCT, ModeSlot)
+	}
+	if !(sp.Horizon > 0) || math.IsInf(sp.Horizon, 0) {
+		return fmt.Errorf("fleet: horizon %v must be positive and finite", sp.Horizon)
+	}
+	if sp.Period == 0 {
+		sp.Period = defaultPeriod
+	}
+	if !(sp.Period > 0) || math.IsInf(sp.Period, 0) {
+		return fmt.Errorf("fleet: period %v must be positive and finite", sp.Period)
+	}
+	if sp.QueueCap == 0 {
+		sp.QueueCap = defaultQueueCap
+	}
+	if sp.QueueCap < 0 {
+		return fmt.Errorf("fleet: negative queue capacity %d", sp.QueueCap)
+	}
+	if sp.LatencyWeight == 0 {
+		sp.LatencyWeight = defaultLatencyWeight
+	}
+	if sp.LatencyWeight < 0 || math.IsNaN(sp.LatencyWeight) {
+		return fmt.Errorf("fleet: latency weight %v must be >= 0", sp.LatencyWeight)
+	}
+	if sp.ShardSize == 0 {
+		sp.ShardSize = defaultShardSize
+	}
+	if sp.ShardSize < 1 {
+		return fmt.Errorf("fleet: shard size %d must be >= 1", sp.ShardSize)
+	}
+	for i := range sp.Classes {
+		if err := sp.Classes[i].validate(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Shards returns the number of pool jobs a run of this spec fans out.
+func (sp *Spec) Shards() int {
+	return (sp.Devices + sp.ShardSize - 1) / sp.ShardSize
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+
+// class is a Class compiled for execution: slotted device form, class
+// label, and the always-on reference power.
+type compiledClass struct {
+	src      Class
+	name     string
+	slotted  *device.Slotted
+	maxPower float64
+	polName  string
+	polParam float64
+}
+
+// runner holds the per-run immutable state shared by every shard.
+type runner struct {
+	spec    Spec
+	classes []compiledClass
+	// pattern maps i % len(pattern) to a class index — the weighted
+	// round-robin interleave that assigns instances to classes.
+	pattern []int
+	seeds   []uint64
+}
+
+// workerScratch is one worker's reusable simulation state. The CT
+// simulator and metrics scratch survive across every shard the worker
+// runs; Reset keeps replica turnover off the allocator without
+// influencing results.
+type workerScratch struct {
+	sim     *ctsim.Sim
+	metrics ctsim.Metrics
+}
+
+func newRunner(spec Spec) (*runner, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	r := &runner{spec: spec}
+	for ci := range spec.Classes {
+		c := spec.Classes[ci]
+		sl, err := c.Device.Slot(spec.Period)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: class %d (%s): %w", ci, c.Name(), err)
+		}
+		name, param, err := parsePolicy(c.Policy)
+		if err != nil {
+			return nil, err
+		}
+		r.classes = append(r.classes, compiledClass{
+			src:      c,
+			name:     c.Name(),
+			slotted:  sl,
+			maxPower: c.Device.MaxPower(),
+			polName:  name,
+			polParam: param,
+		})
+		for w := 0; w < c.Weight; w++ {
+			r.pattern = append(r.pattern, ci)
+		}
+	}
+	r.seeds = engine.DeriveSeeds(spec.Seed, spec.Devices)
+	return r, nil
+}
+
+// classOf returns the class index of instance i — the weighted
+// round-robin interleave, a pure function of the spec.
+func (r *runner) classOf(i int) int { return r.pattern[i%len(r.pattern)] }
+
+// cancelChunkTicks bounds cancellation latency: instances run in chunks
+// of this many governor ticks (CT mode, × Period seconds each) or slots
+// (slot mode) and poll the context between chunks.
+const cancelChunkTicks = 8192
+
+// runInstanceCT executes instance i on the worker's reusable simulator
+// and folds its metrics into sum.
+func (r *runner) runInstanceCT(ctx context.Context, i int, ws *workerScratch, sum *Summary) error {
+	cc := &r.classes[r.classOf(i)]
+	root := rng.New(r.seeds[i])
+	polStream := root.Split()
+	simStream := root.Split()
+	pol, err := buildSlotPolicy(cc, r.spec.QueueCap, r.spec.LatencyWeight, polStream)
+	if err != nil {
+		return err
+	}
+	d, err := dist.ByName(cc.src.Dist, cc.src.RatePerSec)
+	if err != nil {
+		return err
+	}
+	src, err := ctsim.NewRenewalSource(d)
+	if err != nil {
+		return err
+	}
+	cfg := ctsim.Config{
+		Device:         cc.src.Device,
+		QueueCap:       r.spec.QueueCap,
+		LatencyWeight:  r.spec.LatencyWeight / r.spec.Period,
+		Policy:         ctsim.Adapt(pol, r.spec.Period),
+		Source:         src,
+		Stream:         simStream,
+		DecisionPeriod: r.spec.Period,
+	}
+	if ws.sim == nil {
+		if ws.sim, err = ctsim.New(cfg); err != nil {
+			return err
+		}
+	} else if err = ws.sim.Reset(cfg); err != nil {
+		return err
+	}
+	if err := ws.sim.RunChunked(ctx, r.spec.Horizon, r.spec.Period*cancelChunkTicks); err != nil {
+		return err
+	}
+	ws.sim.MetricsInto(&ws.metrics)
+	m := &ws.metrics
+	sum.addInstance(r.classOf(i), instanceResult{
+		avgPowerW:   m.AvgPowerW(),
+		energyRed:   1 - m.AvgPowerW()/cc.maxPower,
+		meanWaitSec: m.MeanWaitSeconds(),
+		lossRate:    m.LossRate(),
+		energyJ:     m.EnergyJ,
+		arrived:     m.Arrived,
+		served:      m.Served,
+		lost:        m.Lost,
+		events:      ws.sim.FiredEvents(),
+	})
+	return nil
+}
+
+// runInstanceSlot executes instance i on a fresh slotted simulator and
+// folds its metrics into sum. The slotted kernel has no Reset path; its
+// per-instance construction cost is a handful of allocations, which the
+// fleet benchmarks report but the CT acceptance gate does not cover.
+func (r *runner) runInstanceSlot(ctx context.Context, i int, sum *Summary) error {
+	cc := &r.classes[r.classOf(i)]
+	root := rng.New(r.seeds[i])
+	polStream := root.Split()
+	simStream := root.Split()
+	pol, err := buildSlotPolicy(cc, r.spec.QueueCap, r.spec.LatencyWeight, polStream)
+	if err != nil {
+		return err
+	}
+	// Interarrival law in slot units: rate/sec × period = rate/slot.
+	d, err := dist.ByName(cc.src.Dist, cc.src.RatePerSec*r.spec.Period)
+	if err != nil {
+		return err
+	}
+	arr, err := workload.NewRenewal(d)
+	if err != nil {
+		return err
+	}
+	sim, err := slotsim.New(slotsim.Config{
+		Device:        cc.slotted,
+		Arrivals:      arr,
+		QueueCap:      r.spec.QueueCap,
+		Policy:        pol,
+		Stream:        simStream,
+		LatencyWeight: r.spec.LatencyWeight,
+	})
+	if err != nil {
+		return err
+	}
+	slots := int64(math.Ceil(r.spec.Horizon/r.spec.Period - 1e-9))
+	var m slotsim.Metrics
+	for remaining := slots; remaining > 0; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		chunk := int64(cancelChunkTicks)
+		if remaining < chunk {
+			chunk = remaining
+		}
+		if m, err = sim.Run(chunk, nil); err != nil {
+			return err
+		}
+		remaining -= chunk
+	}
+	p := m.AvgPowerW(r.spec.Period)
+	sum.addInstance(r.classOf(i), instanceResult{
+		avgPowerW:   p,
+		energyRed:   1 - p/cc.maxPower,
+		meanWaitSec: m.MeanWaitSlots() * r.spec.Period,
+		lossRate:    m.LossRate(),
+		energyJ:     m.EnergyJ,
+		arrived:     m.Arrived,
+		served:      m.Served,
+		lost:        m.Lost,
+		events:      uint64(m.Slots),
+	})
+	return nil
+}
+
+// runShard executes one contiguous block of instances and returns its
+// streaming summary.
+func (r *runner) runShard(ctx context.Context, shard int, ws *workerScratch) (*Summary, error) {
+	lo := shard * r.spec.ShardSize
+	hi := lo + r.spec.ShardSize
+	if hi > r.spec.Devices {
+		hi = r.spec.Devices
+	}
+	sum := newSummary(r, hi-lo)
+	for i := lo; i < hi; i++ {
+		var err error
+		if r.spec.Mode == ModeCT {
+			err = r.runInstanceCT(ctx, i, ws, sum)
+		} else {
+			err = r.runInstanceSlot(ctx, i, sum)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fleet: instance %d (%s): %w", i, r.classes[r.classOf(i)].name, err)
+		}
+	}
+	return sum, nil
+}
+
+// Run simulates the fleet on the pool (nil pool = GOMAXPROCS workers)
+// and returns the merged fleet summary. Output is bit-identical for
+// every pool size: shards are a pure function of the spec and their
+// summaries are reduced in shard-index order.
+func Run(ctx context.Context, spec Spec, pool *engine.Pool) (*Summary, error) {
+	r, err := newRunner(spec)
+	if err != nil {
+		return nil, err
+	}
+	shards := r.spec.Shards()
+	scratch := make([]workerScratch, pool.Size(shards))
+	parts, err := engine.MapWorkers(ctx, pool, shards,
+		func(ctx context.Context, worker, si int) (*Summary, error) {
+			return r.runShard(ctx, si, &scratch[worker])
+		})
+	if err != nil {
+		return nil, err
+	}
+	total := newSummary(r, 0)
+	for _, p := range parts {
+		total.Merge(p)
+	}
+	total.Shards = shards
+	return total, nil
+}

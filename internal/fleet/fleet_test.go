@@ -1,0 +1,273 @@
+package fleet_test
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/ctsim"
+	"repro/internal/device"
+	"repro/internal/dist"
+	"repro/internal/engine"
+	"repro/internal/experiment"
+	"repro/internal/fleet"
+)
+
+// testSpec returns a small but heterogeneous fleet spec that runs in
+// well under a second.
+func testSpec(mode fleet.Mode) fleet.Spec {
+	return fleet.Spec{
+		Devices:   37,
+		Classes:   fleet.DefaultMix(),
+		Mode:      mode,
+		Horizon:   60,
+		ShardSize: 5,
+		Seed:      42,
+	}
+}
+
+// TestRunBitIdenticalAcrossPoolSizes pins the fleet determinism
+// contract: the merged summary — accumulator bits, per-class stats,
+// wait order — is identical for every worker count.
+func TestRunBitIdenticalAcrossPoolSizes(t *testing.T) {
+	for _, mode := range []fleet.Mode{fleet.ModeCT, fleet.ModeSlot} {
+		spec := testSpec(mode)
+		serial, err := fleet.Run(context.Background(), spec, &engine.Pool{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s serial: %v", mode, err)
+		}
+		for _, workers := range []int{2, 4, 16} {
+			pooled, err := fleet.Run(context.Background(), spec, &engine.Pool{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", mode, workers, err)
+			}
+			if !reflect.DeepEqual(serial, pooled) {
+				t.Fatalf("%s: summary differs between 1 and %d workers:\n%+v\nvs\n%+v",
+					mode, workers, serial, pooled)
+			}
+		}
+		if serial.Devices != int64(spec.Devices) {
+			t.Fatalf("%s: %d devices simulated, want %d", mode, serial.Devices, spec.Devices)
+		}
+		if serial.Shards != (spec.Devices+spec.ShardSize-1)/spec.ShardSize {
+			t.Fatalf("%s: %d shards, want %d", mode, serial.Shards, spec.Shards())
+		}
+		if len(serial.Waits) != spec.Devices {
+			t.Fatalf("%s: %d waits recorded, want %d", mode, len(serial.Waits), spec.Devices)
+		}
+		if serial.Events == 0 || serial.Arrived == 0 {
+			t.Fatalf("%s: fleet simulated nothing: %+v", mode, serial)
+		}
+	}
+}
+
+// TestRunIndependentOfShardSize: the shard decomposition shapes the
+// merge tree, so accumulator bits may differ legally across shard
+// sizes — but exact totals (counts, per-instance wait values in
+// instance order) must not, and pooled moments must agree to float
+// tolerance.
+func TestRunIndependentOfShardSize(t *testing.T) {
+	a := testSpec(fleet.ModeCT)
+	b := testSpec(fleet.ModeCT)
+	b.ShardSize = 37 // single shard: the purely sequential reduction
+	sa, err := fleet.Run(context.Background(), a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := fleet.Run(context.Background(), b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Arrived != sb.Arrived || sa.Served != sb.Served || sa.Lost != sb.Lost || sa.Events != sb.Events {
+		t.Fatalf("totals differ across shard sizes: %+v vs %+v", sa, sb)
+	}
+	if !reflect.DeepEqual(sa.Waits, sb.Waits) {
+		t.Fatal("per-instance wait order differs across shard sizes")
+	}
+	if d := math.Abs(sa.AvgPowerW.Mean() - sb.AvgPowerW.Mean()); d > 1e-12 {
+		t.Fatalf("pooled power mean differs across shard sizes by %g", d)
+	}
+}
+
+// TestInstanceMatchesExperimentCTReplica pins the cross-layer contract:
+// a single-class CT fleet instance with seed s is bit-identical to an
+// experiment-layer CT replica built from the same ingredients — the
+// fleet layer adds sharding, not semantics.
+func TestInstanceMatchesExperimentCTReplica(t *testing.T) {
+	psm := device.Synthetic3()
+	cls := fleet.Class{Device: psm, Dist: "exp", RatePerSec: 0.2, Policy: "timeout=8"}
+	spec := fleet.Spec{
+		Devices: 1,
+		Classes: []fleet.Class{cls},
+		Mode:    fleet.ModeCT,
+		Horizon: 500,
+		Seed:    7,
+	}
+	sum, err := fleet.Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dev, err := experiment.CanonDevice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := experiment.CTScenario{
+		Name:          "one",
+		Device:        psm,
+		QueueCap:      experiment.CanonQueueCap,
+		LatencyWeight: experiment.CanonLatencyWeight / experiment.CanonSlotSeconds,
+		Horizon:       500,
+		Period:        experiment.CanonSlotSeconds,
+		Source: func() ctsim.Source {
+			d, err := dist.ByName("exp", 0.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := ctsim.NewRenewalSource(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return src
+		},
+	}
+	seed := engine.DeriveSeeds(7, 1)[0]
+	m, err := experiment.RunCTOne(sc, experiment.TimeoutFactory(dev, 8), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sum.AvgPowerW.Mean(), m.AvgPowerW(); got != want {
+		t.Fatalf("fleet instance power %v != experiment replica power %v", got, want)
+	}
+	if got, want := sum.MeanWaitSec.Mean(), m.MeanWaitSeconds(); got != want {
+		t.Fatalf("fleet instance wait %v != experiment replica wait %v", got, want)
+	}
+	if sum.Arrived != m.Arrived || sum.Served != m.Served || sum.Lost != m.Lost {
+		t.Fatalf("fleet instance counts %+v != experiment replica counts %+v", sum, m)
+	}
+}
+
+// TestWeightedClassAssignment: instances spread across classes by
+// weighted round-robin, exactly.
+func TestWeightedClassAssignment(t *testing.T) {
+	spec := testSpec(fleet.ModeCT)
+	spec.Devices = 16 // 2 full weight cycles (total weight 8)
+	spec.Horizon = 20
+	sum, err := fleet.Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPerCycle := []int64{2, 2, 1, 3} // DefaultMix weights
+	for ci, c := range sum.Classes {
+		if c.Instances != 2*wantPerCycle[ci] {
+			t.Fatalf("class %d (%s) got %d instances, want %d", ci, c.Name, c.Instances, 2*wantPerCycle[ci])
+		}
+	}
+}
+
+// TestSummaryDerivedMetrics: quantiles, per-policy rollups, and the
+// fleet-total power are well-formed and internally consistent.
+func TestSummaryDerivedMetrics(t *testing.T) {
+	sum, err := fleet.Run(context.Background(), testSpec(fleet.ModeCT), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p50, err := sum.WaitQuantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99, err := sum.WaitQuantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p50 < 0 || p99 < p50 {
+		t.Fatalf("wait quantiles disordered: p50=%v p99=%v", p50, p99)
+	}
+	perPol := sum.PerPolicy()
+	var n int64
+	for _, g := range perPol {
+		n += g.Instances
+	}
+	if n != sum.Devices {
+		t.Fatalf("per-policy rollup covers %d instances, want %d", n, sum.Devices)
+	}
+	// DefaultMix uses 3 distinct policies.
+	if len(perPol) != 3 {
+		t.Fatalf("per-policy rollup has %d groups, want 3", len(perPol))
+	}
+	if got, want := sum.AvgFleetPowerW(), sum.EnergyJ/(float64(sum.Devices)*sum.HorizonSec); got != want {
+		t.Fatalf("AvgFleetPowerW %v inconsistent with totals %v", got, want)
+	}
+}
+
+// TestRunCancellation: a cancelled context aborts the fleet promptly
+// with the context error.
+func TestRunCancellation(t *testing.T) {
+	spec := testSpec(fleet.ModeCT)
+	spec.Devices = 64
+	spec.Horizon = 1e7 // far too long to finish
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := fleet.Run(ctx, spec, nil); err == nil {
+		t.Fatal("cancelled fleet run returned nil error")
+	}
+}
+
+// TestParseMix covers the mix grammar.
+func TestParseMix(t *testing.T) {
+	classes, err := fleet.ParseMix("hdd:exp:0.08:timeout=8:2, wlan:hyperexp:2:q-dpm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 2 {
+		t.Fatalf("parsed %d classes, want 2", len(classes))
+	}
+	if classes[0].Device.Name != "hdd" || classes[0].Weight != 2 || classes[0].Policy != "timeout=8" {
+		t.Fatalf("class 0 misparsed: %+v", classes[0])
+	}
+	if classes[1].Weight != 1 {
+		t.Fatalf("default weight not applied: %+v", classes[1])
+	}
+	for _, bad := range []string{
+		"",
+		"hdd:exp:0.08",                      // too few fields
+		"nosuch:exp:0.1:timeout",            // unknown device
+		"hdd:nosuch:0.1:timeout",            // unknown dist
+		"hdd:exp:zero:timeout",              // bad rate
+		"hdd:exp:0.1:nosuch",                // unknown policy
+		"hdd:exp:0.1:timeout=-3",            // bad parameter
+		"hdd:exp:0.1:timeout:0",             // bad weight
+		"hdd:exp:0.1:timeout:1:extra-field", // too many fields
+	} {
+		if _, err := fleet.ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) accepted invalid mix", bad)
+		}
+	}
+}
+
+// TestSpecValidate covers default filling and rejection.
+func TestSpecValidate(t *testing.T) {
+	sp := fleet.Spec{Devices: 10, Classes: fleet.DefaultMix(), Horizon: 100}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Mode != fleet.ModeCT || sp.Period != 0.5 || sp.QueueCap != 8 || sp.ShardSize == 0 {
+		t.Fatalf("defaults not filled: %+v", sp)
+	}
+	bad := []fleet.Spec{
+		{Devices: 0, Classes: fleet.DefaultMix(), Horizon: 100},
+		{Devices: 10, Horizon: 100},
+		{Devices: 10, Classes: fleet.DefaultMix(), Horizon: 0},
+		{Devices: 10, Classes: fleet.DefaultMix(), Horizon: 100, Mode: "quantum"},
+		{Devices: 10, Classes: fleet.DefaultMix(), Horizon: 100, Period: -1},
+		{Devices: 10, Classes: fleet.DefaultMix(), Horizon: 100, QueueCap: -1},
+		{Devices: 10, Classes: fleet.DefaultMix(), Horizon: 100, ShardSize: -1},
+		{Devices: 10, Classes: []fleet.Class{{Device: device.HDD(), Dist: "exp", RatePerSec: -1, Policy: "timeout"}}, Horizon: 100},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Fatalf("spec %d accepted: %+v", i, bad[i])
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/policy"
+	"repro/internal/qlearn"
+	"repro/internal/rng"
+	"repro/internal/slotsim"
+)
+
+// Policies lists the policy names a Class may use. "timeout" and
+// "adaptive-timeout" accept a numeric parameter after '=' (slots):
+// timeout=8 parks after 8 idle slots.
+func Policies() []string {
+	return []string{"always-on", "greedy-off", "timeout", "adaptive-timeout", "predictive", "q-dpm"}
+}
+
+// parsePolicy splits a policy token into name and optional '=' parameter
+// and validates the name.
+func parsePolicy(tok string) (name string, param float64, err error) {
+	name = tok
+	param = -1
+	if i := strings.IndexByte(tok, '='); i >= 0 {
+		name = tok[:i]
+		param, err = strconv.ParseFloat(tok[i+1:], 64)
+		if err != nil || !(param >= 0) {
+			return "", 0, fmt.Errorf("fleet: bad policy parameter in %q", tok)
+		}
+	}
+	switch name {
+	case "always-on", "greedy-off", "timeout", "adaptive-timeout", "predictive", "q-dpm":
+		return name, param, nil
+	default:
+		return "", 0, fmt.Errorf("fleet: unknown policy %q (want %s)", tok, strings.Join(Policies(), ", "))
+	}
+}
+
+// buildSlotPolicy constructs one instance's slotted policy for the
+// class's slotted device. The Q-DPM learner uses the canonical
+// converging configuration (decaying exploration, polynomial rate).
+func buildSlotPolicy(cc *compiledClass, queueCap int, latencyWeight float64, stream *rng.Stream) (slotsim.Policy, error) {
+	switch cc.polName {
+	case "always-on":
+		return policy.NewAlwaysOn(cc.slotted)
+	case "greedy-off":
+		return policy.NewGreedyOff(cc.slotted)
+	case "timeout":
+		slots := int64(8)
+		if cc.polParam >= 0 {
+			slots = int64(cc.polParam)
+		}
+		return policy.NewFixedTimeout(cc.slotted, slots)
+	case "adaptive-timeout":
+		initial := int64(8)
+		if cc.polParam >= 0 {
+			initial = int64(cc.polParam)
+		}
+		return policy.NewAdaptiveTimeout(cc.slotted, initial, 1, 128)
+	case "predictive":
+		return policy.NewPredictive(cc.slotted, 0.5)
+	case "q-dpm":
+		return core.New(core.Config{
+			Device:        cc.slotted,
+			QueueCap:      queueCap,
+			LatencyWeight: latencyWeight,
+			Explore:       qlearn.EpsGreedy{Eps: 0.3, MinEps: 0.002, DecayTau: 30000},
+			Alpha:         qlearn.Polynomial{Scale: 0.5, Omega: 0.65},
+			Stream:        stream,
+		})
+	default:
+		return nil, fmt.Errorf("fleet: unknown policy %q", cc.polName)
+	}
+}
+
+// ParseMix parses a fleet mix string: comma-separated classes of the
+// form
+//
+//	device:dist:rate:policy[:weight]
+//
+// where device is a catalog name (device.Lookup), dist a dist.ByName
+// key, rate the arrival rate in requests/second, policy a Policies
+// entry (optionally parameterized, e.g. timeout=8), and weight the
+// class's integer share of instances (default 1). Example:
+//
+//	hdd:exp:0.08:timeout=8:2,wlan:hyperexp:2:q-dpm:1
+func ParseMix(s string) ([]Class, error) {
+	var out []Class
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f := strings.Split(part, ":")
+		if len(f) != 4 && len(f) != 5 {
+			return nil, fmt.Errorf("fleet: mix entry %q: want device:dist:rate:policy[:weight]", part)
+		}
+		dev, err := device.Lookup(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("fleet: mix entry %q: %w", part, err)
+		}
+		rate, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: mix entry %q: bad rate %q", part, f[2])
+		}
+		c := Class{Device: dev, Dist: f[1], RatePerSec: rate, Policy: f[3], Weight: 1}
+		if len(f) == 5 {
+			w, err := strconv.Atoi(f[4])
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("fleet: mix entry %q: bad weight %q", part, f[4])
+			}
+			c.Weight = w
+		}
+		if err := c.validate(len(out)); err != nil {
+			return nil, fmt.Errorf("fleet: mix entry %q: %w", part, err)
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("fleet: empty mix")
+	}
+	return out, nil
+}
+
+// DefaultMix returns the canonical heterogeneous fleet: laptop disks
+// under sparse Poisson traffic with a fixed timeout, WLAN NICs under
+// bursty hyperexponential traffic and sensor radios under heavy-tailed
+// Pareto traffic (both learning), and the paper's synthetic3 device
+// under its canonical load split between the learner and the greedy
+// baseline.
+func DefaultMix() []Class {
+	mk := func(name, dist string, rate float64, pol string, weight int) Class {
+		dev, err := device.Lookup(name)
+		if err != nil {
+			panic("fleet: default mix device: " + err.Error())
+		}
+		return Class{Device: dev, Dist: dist, RatePerSec: rate, Policy: pol, Weight: weight}
+	}
+	return []Class{
+		mk("hdd", "exp", 0.08, "timeout=8", 2),
+		mk("wlan", "hyperexp", 2, "q-dpm", 2),
+		mk("sensor-radio", "pareto", 5, "greedy-off", 1),
+		mk("synthetic3", "exp", 0.2, "q-dpm", 3),
+	}
+}

@@ -1,0 +1,198 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ClassStats aggregates the per-instance results of one class (or one
+// policy rollup). Each Running pools one sample per instance.
+type ClassStats struct {
+	// Name labels the group (a Class label or a policy name).
+	Name string
+	// Policy is the group's policy label (for per-policy rollups it
+	// equals Name).
+	Policy string
+	// Instances is the number of pooled instances.
+	Instances int64
+	// AvgPowerW, EnergyReduction, MeanWaitSec, and LossRate pool
+	// per-instance values; EnergyReduction is relative to each class's
+	// always-on power.
+	AvgPowerW       stats.Running
+	EnergyReduction stats.Running
+	MeanWaitSec     stats.Running
+	LossRate        stats.Running
+}
+
+// merge folds another group (same identity) into c.
+func (c *ClassStats) merge(o *ClassStats) {
+	if c.Name == "" {
+		c.Name, c.Policy = o.Name, o.Policy
+	}
+	c.Instances += o.Instances
+	c.AvgPowerW.Merge(&o.AvgPowerW)
+	c.EnergyReduction.Merge(&o.EnergyReduction)
+	c.MeanWaitSec.Merge(&o.MeanWaitSec)
+	c.LossRate.Merge(&o.LossRate)
+}
+
+// instanceResult is one instance's contribution to the aggregates.
+type instanceResult struct {
+	avgPowerW, energyRed, meanWaitSec, lossRate, energyJ float64
+	arrived, served, lost                                int64
+	events                                               uint64
+}
+
+// Summary aggregates a fleet run (or a shard of one — shards stream
+// Summary values that Merge into the fleet total in shard-index order).
+//
+// Merge contract: a Summary is a merge tree over per-instance samples.
+// The tree's shape is the shard decomposition plus the shard-index
+// reduction order, both pure functions of the Spec, so the merged result
+// is bit-identical for every worker count. Per-instance wait means are
+// additionally kept in instance order (Waits) for fleet-level latency
+// percentiles, which are exact order statistics, not sketches.
+type Summary struct {
+	// Mode is the kernel the fleet ran on.
+	Mode Mode
+	// Devices is the number of simulated instances; Shards is the number
+	// of pool jobs they were sharded into (0 on a shard-local summary).
+	Devices int64
+	Shards  int
+	// HorizonSec is each instance's simulated length in seconds.
+	HorizonSec float64
+	// EnergyJ is the fleet-total energy; Arrived/Served/Lost are
+	// fleet-total request counts; Events is the fleet-total kernel event
+	// count (CT mode) or slot count (slot mode).
+	EnergyJ               float64
+	Arrived, Served, Lost int64
+	Events                uint64
+	// AvgPowerW, EnergyReduction, MeanWaitSec, and LossRate pool one
+	// sample per instance, fleet-wide.
+	AvgPowerW       stats.Running
+	EnergyReduction stats.Running
+	MeanWaitSec     stats.Running
+	LossRate        stats.Running
+	// Classes aggregates per class, index-aligned with Spec.Classes.
+	Classes []ClassStats
+	// Waits holds every instance's mean wait in seconds, in instance
+	// order (shard merges concatenate in shard order).
+	Waits []float64
+}
+
+// newSummary returns an empty summary shaped for r's class list, with
+// Waits capacity for n instances.
+func newSummary(r *runner, n int) *Summary {
+	s := &Summary{
+		Mode:       r.spec.Mode,
+		HorizonSec: r.spec.Horizon,
+		Classes:    make([]ClassStats, len(r.classes)),
+		Waits:      make([]float64, 0, n),
+	}
+	for ci := range r.classes {
+		s.Classes[ci].Name = r.classes[ci].name
+		s.Classes[ci].Policy = r.classes[ci].src.Policy
+	}
+	return s
+}
+
+// addInstance folds one instance's results into the summary.
+func (s *Summary) addInstance(class int, ir instanceResult) {
+	s.Devices++
+	s.EnergyJ += ir.energyJ
+	s.Arrived += ir.arrived
+	s.Served += ir.served
+	s.Lost += ir.lost
+	s.Events += ir.events
+	s.AvgPowerW.Add(ir.avgPowerW)
+	s.EnergyReduction.Add(ir.energyRed)
+	s.MeanWaitSec.Add(ir.meanWaitSec)
+	s.LossRate.Add(ir.lossRate)
+	c := &s.Classes[class]
+	c.Instances++
+	c.AvgPowerW.Add(ir.avgPowerW)
+	c.EnergyReduction.Add(ir.energyRed)
+	c.MeanWaitSec.Add(ir.meanWaitSec)
+	c.LossRate.Add(ir.lossRate)
+	s.Waits = append(s.Waits, ir.meanWaitSec)
+}
+
+// Merge folds another summary (same spec shape) into s; fleet totals
+// add, the pooled accumulators take the parallel Welford merge, and o's
+// waits append after s's. Merging shard summaries in shard-index order
+// is the engine's sequential reduction, so the result is independent of
+// which workers ran which shards.
+func (s *Summary) Merge(o *Summary) {
+	if s.Mode == "" {
+		s.Mode, s.HorizonSec = o.Mode, o.HorizonSec
+	}
+	s.Devices += o.Devices
+	s.Shards += o.Shards
+	s.EnergyJ += o.EnergyJ
+	s.Arrived += o.Arrived
+	s.Served += o.Served
+	s.Lost += o.Lost
+	s.Events += o.Events
+	s.AvgPowerW.Merge(&o.AvgPowerW)
+	s.EnergyReduction.Merge(&o.EnergyReduction)
+	s.MeanWaitSec.Merge(&o.MeanWaitSec)
+	s.LossRate.Merge(&o.LossRate)
+	if len(s.Classes) == 0 {
+		s.Classes = make([]ClassStats, len(o.Classes))
+	}
+	for i := range o.Classes {
+		s.Classes[i].merge(&o.Classes[i])
+	}
+	s.Waits = append(s.Waits, o.Waits...)
+}
+
+// WaitQuantile returns the q-quantile of per-instance mean waits in
+// seconds (exact order statistic over every instance).
+func (s *Summary) WaitQuantile(q float64) (float64, error) {
+	return stats.Quantile(s.Waits, q)
+}
+
+// LossOverall returns the fleet-total loss fraction (lost/arrived over
+// raw counts, not the mean of per-instance rates).
+func (s *Summary) LossOverall() float64 {
+	if s.Arrived == 0 {
+		return 0
+	}
+	return float64(s.Lost) / float64(s.Arrived)
+}
+
+// AvgFleetPowerW returns the fleet-total mean power draw in watts
+// (total energy over total device-seconds).
+func (s *Summary) AvgFleetPowerW() float64 {
+	if s.Devices == 0 || s.HorizonSec == 0 {
+		return 0
+	}
+	return s.EnergyJ / (float64(s.Devices) * s.HorizonSec)
+}
+
+// PerPolicy rolls the class aggregates up by policy label, in
+// first-seen class order — the per-policy breakdown of the fleet
+// report. The rollup merges multi-sample accumulators in class-index
+// order, so it is deterministic (same bits every call).
+func (s *Summary) PerPolicy() []ClassStats {
+	var out []ClassStats
+	idx := make(map[string]int)
+	for ci := range s.Classes {
+		c := &s.Classes[ci]
+		j, ok := idx[c.Policy]
+		if !ok {
+			j = len(out)
+			idx[c.Policy] = j
+			out = append(out, ClassStats{Name: c.Policy, Policy: c.Policy})
+		}
+		out[j].merge(c)
+	}
+	return out
+}
+
+// String summarizes the fleet in one line.
+func (s *Summary) String() string {
+	return fmt.Sprintf("fleet(%d devices, %s, %.0f s, %.4f W avg, %.2f%% loss)",
+		s.Devices, s.Mode, s.HorizonSec, s.AvgPowerW.Mean(), 100*s.LossOverall())
+}

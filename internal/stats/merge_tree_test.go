@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// The fleet layer reduces per-shard Running accumulators in shard-index
+// order — the same sequential reduction the engine's index-ordered
+// results induce everywhere else. These tests pin the merge-tree
+// properties that determinism contract rests on, under the tree shapes
+// fleets actually produce: singleton shards (the replica grids), equal
+// blocks (fleet shards), a ragged tail, unbalanced splits, and deep
+// left-leaning chains.
+
+// sample returns n deterministic pseudo-random observations spanning
+// several orders of magnitude, the shape that stresses Welford merging.
+func mergeTreeSample(n int) []float64 {
+	s := rng.New(12345)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = (s.Float64() - 0.3) * math.Pow(10, float64(s.Intn(6))-3)
+	}
+	return xs
+}
+
+// bits flattens an accumulator to comparable bit patterns.
+func bits(r *Running) [5]uint64 {
+	return [5]uint64{
+		uint64(r.N()),
+		math.Float64bits(r.Mean()),
+		math.Float64bits(r.Var()),
+		math.Float64bits(r.Min()),
+		math.Float64bits(r.Max()),
+	}
+}
+
+// shardReduce splits xs at the given boundaries, accumulates each shard
+// sequentially, and merges the shard accumulators left to right — the
+// exact reduction shape of fleet.Run (shards) and engine.Map (parts).
+func shardReduce(xs []float64, bounds []int) Running {
+	var total Running
+	lo := 0
+	for _, hi := range append(bounds, len(xs)) {
+		var shard Running
+		for _, x := range xs[lo:hi] {
+			shard.Add(x)
+		}
+		total.Merge(&shard)
+		lo = hi
+	}
+	return total
+}
+
+// TestMergeSingletonShardsBitIdenticalToSerial: reducing one-sample
+// accumulators in order is bit-identical to adding the samples serially
+// — the exactness the replica grids rely on (Merge's n==1 path).
+func TestMergeSingletonShardsBitIdenticalToSerial(t *testing.T) {
+	xs := mergeTreeSample(1000)
+	var serial Running
+	for _, x := range xs {
+		serial.Add(x)
+	}
+	bounds := make([]int, len(xs)-1)
+	for i := range bounds {
+		bounds[i] = i + 1
+	}
+	merged := shardReduce(xs, bounds)
+	if bits(&serial) != bits(&merged) {
+		t.Fatalf("singleton-shard reduction diverged from serial Add:\n%+v\nvs\n%+v", serial, merged)
+	}
+}
+
+// TestMergeTreeDeterministicAcrossComputationOrder: for a fixed shard
+// decomposition, the reduced result is a pure function of the
+// decomposition — recomputing shards in any order (as a worker pool
+// does) changes nothing, because reduction order is fixed by index.
+func TestMergeTreeDeterministicAcrossComputationOrder(t *testing.T) {
+	xs := mergeTreeSample(997) // prime: ragged tail shard
+	bounds := []int{128, 256, 384, 512, 640, 768, 896}
+	want := shardReduce(xs, bounds)
+	// Recompute the shard accumulators in reverse and in interleaved
+	// order, then merge in index order — identical bits.
+	type shardSpan struct{ lo, hi int }
+	spans := make([]shardSpan, 0, len(bounds)+1)
+	lo := 0
+	for _, hi := range append(append([]int{}, bounds...), len(xs)) {
+		spans = append(spans, shardSpan{lo, hi})
+		lo = hi
+	}
+	for name, order := range map[string][]int{
+		"reverse":     {7, 6, 5, 4, 3, 2, 1, 0},
+		"interleaved": {3, 7, 1, 5, 0, 4, 2, 6},
+	} {
+		acc := make([]Running, len(spans))
+		for _, si := range order {
+			for _, x := range xs[spans[si].lo:spans[si].hi] {
+				acc[si].Add(x)
+			}
+		}
+		var got Running
+		for i := range acc {
+			got.Merge(&acc[i])
+		}
+		if bits(&want) != bits(&got) {
+			t.Fatalf("%s computation order changed the reduction:\n%+v\nvs\n%+v", name, want, got)
+		}
+	}
+}
+
+// TestMergeUnbalancedAndDeepTrees: extreme shard shapes — one giant
+// shard plus crumbs, alternating sizes, a deep left chain of tiny
+// shards, and empty shards interleaved — all reproduce their own bits
+// exactly and agree with the direct two-pass moments to float
+// tolerance.
+func TestMergeUnbalancedAndDeepTrees(t *testing.T) {
+	xs := mergeTreeSample(2048)
+	// Direct two-pass reference.
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	m2 := 0.0
+	for _, x := range xs {
+		m2 += (x - mean) * (x - mean)
+	}
+	wantVar := m2 / float64(len(xs)-1)
+
+	shapes := map[string][]int{
+		"one-giant-plus-crumbs": {2040, 2041, 2042, 2043, 2044, 2045, 2046, 2047},
+		"alternating":           {1, 513, 514, 1026, 1027, 1539, 1540},
+		"deep-left-chain":       nil, // filled below: 512 shards of 4
+		"empty-shards":          {0, 0, 1024, 1024, 1024, 2048, 2048},
+	}
+	deep := make([]int, 0, 511)
+	for i := 4; i < 2048; i += 4 {
+		deep = append(deep, i)
+	}
+	shapes["deep-left-chain"] = deep
+
+	for name, bounds := range shapes {
+		a := shardReduce(xs, bounds)
+		b := shardReduce(xs, bounds)
+		if bits(&a) != bits(&b) {
+			t.Fatalf("%s: reduction not reproducible", name)
+		}
+		if a.N() != int64(len(xs)) {
+			t.Fatalf("%s: pooled %d samples, want %d", name, a.N(), len(xs))
+		}
+		if relDiff(a.Mean(), mean) > 1e-12 {
+			t.Fatalf("%s: mean %v, want %v", name, a.Mean(), mean)
+		}
+		if relDiff(a.Var(), wantVar) > 1e-9 {
+			t.Fatalf("%s: var %v, want %v", name, a.Var(), wantVar)
+		}
+	}
+}
+
+// TestMergeTwoLevelTreeMatchesFlat: merging shard summaries that were
+// themselves produced by merges (the replicated-fleet shape: shards →
+// replica summary → pooled summary) is reproducible and agrees with the
+// flat reduction to float tolerance.
+func TestMergeTwoLevelTreeMatchesFlat(t *testing.T) {
+	xs := mergeTreeSample(1200)
+	flat := shardReduce(xs, []int{300, 600, 900})
+	// Two levels: 12 shards of 100, merged 3-at-a-time into 4 groups,
+	// then the groups merged in order.
+	var groups [4]Running
+	for g := 0; g < 4; g++ {
+		for s := 0; s < 3; s++ {
+			var shard Running
+			for _, x := range xs[(g*3+s)*100 : (g*3+s+1)*100] {
+				shard.Add(x)
+			}
+			groups[g].Merge(&shard)
+		}
+	}
+	var got Running
+	for g := range groups {
+		got.Merge(&groups[g])
+	}
+	if got.N() != flat.N() {
+		t.Fatalf("two-level tree pooled %d samples, want %d", got.N(), flat.N())
+	}
+	if relDiff(got.Mean(), flat.Mean()) > 1e-12 || relDiff(got.Var(), flat.Var()) > 1e-9 {
+		t.Fatalf("two-level tree diverged beyond float tolerance: %+v vs %+v", got, flat)
+	}
+	if got.Min() != flat.Min() || got.Max() != flat.Max() {
+		t.Fatalf("extrema differ across tree shapes: %+v vs %+v", got, flat)
+	}
+}
+
+// relDiff returns |a-b| scaled by magnitude.
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if m := math.Max(math.Abs(a), math.Abs(b)); m > 1 {
+		return d / m
+	}
+	return d
+}
