@@ -427,3 +427,11 @@ func BenchmarkFleet10kCT(b *testing.B) { benchFleet(b, 10000, 64, fleet.ModeCT) 
 // BenchmarkFleet1kSlot: the slotted kernel at the same scale, for the
 // cross-kernel cost comparison.
 func BenchmarkFleet1kSlot(b *testing.B) { benchFleet(b, 1000, 64, fleet.ModeSlot) }
+
+// BenchmarkFleet1MCT: the million-device acceptance scale at a short
+// horizon, where per-instance turnover dominates — it tracks the
+// zero-allocation instance lifecycle and the streamed O(workers) shard
+// merge together. One op = one full million-device CT fleet; memory
+// stays bounded because shard summaries fold as they complete and wait
+// percentiles live in the mergeable sketch.
+func BenchmarkFleet1MCT(b *testing.B) { benchFleet(b, 1_000_000, 4, fleet.ModeCT) }

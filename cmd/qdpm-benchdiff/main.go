@@ -25,6 +25,12 @@
 //     not — zero-allocation hot paths are a hard invariant, not a
 //     budget. Non-zero baselines fail beyond (1 + alloc-tol), default
 //     0.10, since alloc counts are near-deterministic.
+//
+// -update flips the tool from gate to recorder: instead of comparing, it
+// rewrites the baseline's benchmarks map from the bench run (ns/op,
+// B/op, allocs/op, and custom metrics like ns/event), preserving every
+// other top-level field and per-entry notes — the path for recording a
+// new BENCH_prN.json without hand-editing.
 package main
 
 import (
@@ -72,6 +78,18 @@ type result struct {
 	// (bench run without -benchmem).
 	NsPerOp     float64
 	AllocsPerOp float64
+	// BytesPerOp is -1 when absent; recorded by -update, never gated.
+	BytesPerOp float64
+	// Extra holds the custom metrics (ns/event, devices/s, ...) keyed
+	// the way BENCH files record them (ns_per_event, devices_per_s);
+	// recorded by -update, never gated.
+	Extra map[string]float64
+}
+
+// metricKey converts a go-test unit into the BENCH JSON key:
+// ns/event -> ns_per_event, devices/s -> devices_per_s.
+func metricKey(unit string) string {
+	return strings.NewReplacer("/", "_per_", ".", "_").Replace(unit)
 }
 
 // parseBench scans `go test -bench` output, tracking `pkg:` headers to
@@ -106,7 +124,7 @@ func parseBench(r io.Reader, module string) ([]result, error) {
 		if i := strings.LastIndexByte(name, '-'); i > 0 {
 			name = name[:i]
 		}
-		res := result{Key: prefix + name, AllocsPerOp: -1}
+		res := result{Key: prefix + name, AllocsPerOp: -1, BytesPerOp: -1}
 		seenNs := false
 		for i := 2; i+1 < len(f); i += 2 {
 			v, err := strconv.ParseFloat(f[i], 64)
@@ -118,6 +136,13 @@ func parseBench(r io.Reader, module string) ([]result, error) {
 				res.NsPerOp, seenNs = v, true
 			case "allocs/op":
 				res.AllocsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			default:
+				if res.Extra == nil {
+					res.Extra = make(map[string]float64)
+				}
+				res.Extra[metricKey(f[i+1])] = v
 			}
 		}
 		if !seenNs {
@@ -155,6 +180,60 @@ func compare(res result, base *baselineEntry, nsTol, allocTol float64) []string 
 	return failures
 }
 
+// updateBaseline rewrites the baseline's benchmarks map from a parsed
+// bench run — ns/op, B/op, allocs/op, and every custom metric (ns/event,
+// devices/s, ...) under their BENCH JSON keys — preserving all other
+// top-level fields and each surviving entry's note, then writes the file
+// back in place. This is how BENCH_prN.json is recorded: run the pinned
+// benchmarks, pipe through -update, review the diff.
+func updateBaseline(path string, raw []byte, results []result, stdout io.Writer) error {
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &top); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	// Per-entry notes survive the rewrite; everything else is replaced
+	// by the measured figures.
+	var old struct {
+		Benchmarks map[string]struct {
+			Note string `json:"note"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return fmt.Errorf("parsing %s benchmarks: %w", path, err)
+	}
+	benches := make(map[string]map[string]any, len(results))
+	for _, res := range results {
+		e := map[string]any{"ns_per_op": res.NsPerOp}
+		if res.BytesPerOp >= 0 {
+			e["bytes_per_op"] = res.BytesPerOp
+		}
+		if res.AllocsPerOp >= 0 {
+			e["allocs_per_op"] = res.AllocsPerOp
+		}
+		for k, v := range res.Extra {
+			e[k] = v
+		}
+		if o, ok := old.Benchmarks[res.Key]; ok && o.Note != "" {
+			e["note"] = o.Note
+		}
+		benches[res.Key] = e
+	}
+	nb, err := json.Marshal(benches)
+	if err != nil {
+		return err
+	}
+	top["benchmarks"] = nb
+	out, err := json.MarshalIndent(top, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "updated %s: %d benchmarks recorded\n", path, len(benches))
+	return nil
+}
+
 // run drives the gate: parse, compare, report, and return an error when
 // any benchmark fails.
 func run(stdin io.Reader, stdout io.Writer, args []string) error {
@@ -166,6 +245,7 @@ func run(stdin io.Reader, stdout io.Writer, args []string) error {
 		strict       = fs.Bool("strict", false, "fail benchmarks missing from the baseline and baseline entries that did not run")
 		module       = fs.String("module", "repro", "module path whose root package is unprefixed in baseline keys")
 		inPath       = fs.String("in", "", "read bench output from this file instead of stdin")
+		update       = fs.Bool("update", false, "rewrite the baseline's benchmarks map from this bench run instead of gating (other fields and per-entry notes are preserved; the file may not exist yet)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -178,13 +258,16 @@ func run(stdin io.Reader, stdout io.Writer, args []string) error {
 	}
 	raw, err := os.ReadFile(*baselinePath)
 	if err != nil {
-		return err
+		if !(*update && errors.Is(err, os.ErrNotExist)) {
+			return err
+		}
+		raw = []byte("{}") // -update bootstraps a fresh baseline
 	}
 	var base baselineFile
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("parsing %s: %w", *baselinePath, err)
 	}
-	if len(base.Benchmarks) == 0 {
+	if len(base.Benchmarks) == 0 && !*update {
 		return fmt.Errorf("%s carries no benchmarks", *baselinePath)
 	}
 	in := stdin
@@ -202,6 +285,9 @@ func run(stdin io.Reader, stdout io.Writer, args []string) error {
 	}
 	if len(results) == 0 {
 		return fmt.Errorf("no benchmark lines found in input")
+	}
+	if *update {
+		return updateBaseline(*baselinePath, raw, results, stdout)
 	}
 
 	failed, missing := 0, 0

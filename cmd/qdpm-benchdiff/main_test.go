@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -178,5 +179,72 @@ BenchmarkScheduleAndFire-4   	85702724	        12.74 ns/op	       0 B/op	       
 	malformed := writeBaseline(t, `{"benchmarks"`)
 	if err := run(strings.NewReader(sampleBench), &out, []string{"-baseline", malformed}); err == nil {
 		t.Fatal("malformed baseline accepted")
+	}
+}
+
+// TestUpdateRewritesBaseline: -update replaces the benchmarks map with
+// the measured figures (including custom metrics under their JSON
+// keys), preserves other top-level fields and per-entry notes, and
+// bootstraps a missing file.
+func TestUpdateRewritesBaseline(t *testing.T) {
+	base := writeBaseline(t, `{
+  "pr": 4,
+  "host": {"cpu": "test"},
+  "benchmarks": {
+    "BenchmarkCTReplicaTableCell": {"ns_per_op": 1, "allocs_per_op": 1, "note": "keep me"},
+    "BenchmarkGone": {"ns_per_op": 2}
+  }
+}`)
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleBench), &out, []string{"-baseline", base, "-update"}); err != nil {
+		t.Fatalf("update failed: %v\n%s", err, out.String())
+	}
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		PR   int                       `json:"pr"`
+		Host map[string]any            `json:"host"`
+		B    map[string]map[string]any `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("rewritten baseline unparseable: %v\n%s", err, raw)
+	}
+	if got.PR != 4 || got.Host["cpu"] != "test" {
+		t.Fatalf("top-level fields not preserved: %s", raw)
+	}
+	if _, ok := got.B["BenchmarkGone"]; ok {
+		t.Fatal("stale baseline entry survived the rewrite")
+	}
+	cell := got.B["BenchmarkCTReplicaTableCell"]
+	if cell["ns_per_op"] != 675788.0 || cell["allocs_per_op"] != 29.0 || cell["bytes_per_op"] != 1568.0 {
+		t.Fatalf("figures not recorded: %v", cell)
+	}
+	if cell["note"] != "keep me" {
+		t.Fatalf("note dropped: %v", cell)
+	}
+	fleet := got.B["BenchmarkFleet1kCT"]
+	if fleet["ns_per_event"] != 110.2 || fleet["devices_per_s"] != 27012.0 || fleet["events_per_op"] != 335995.0 {
+		t.Fatalf("custom metrics not recorded: %v", fleet)
+	}
+	// The updated file passes its own gate.
+	out.Reset()
+	if err := run(strings.NewReader(sampleBench), &out, []string{"-baseline", base, "-strict"}); err != nil {
+		t.Fatalf("updated baseline fails its own run: %v\n%s", err, out.String())
+	}
+
+	// Bootstrapping: no file yet.
+	fresh := filepath.Join(t.TempDir(), "BENCH_new.json")
+	out.Reset()
+	if err := run(strings.NewReader(sampleBench), &out, []string{"-baseline", fresh, "-update"}); err != nil {
+		t.Fatalf("bootstrap update failed: %v", err)
+	}
+	raw, err = os.ReadFile(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "BenchmarkScheduleAndFire") {
+		t.Fatalf("bootstrapped baseline incomplete: %s", raw)
 	}
 }

@@ -8,7 +8,14 @@
 //	qdpm-fleet -devices 2000 -mode slot            # slotted kernel
 //	qdpm-fleet -mix hdd:exp:0.08:timeout=8:2,wlan:hyperexp:2:q-dpm
 //	qdpm-fleet -devices 5000 -replicas 4 -json     # machine-readable output
+//	qdpm-fleet -devices 1000000 -progress          # million-device run,
+//	                                               # periodic devices/s
+//	qdpm-fleet -devices 2000 -quantiles exact      # exact order statistics
 //
+// Wait percentiles default to the mergeable log-binned sketch (1%
+// relative error, memory independent of the device count — the setting
+// that makes -devices 1000000 a time budget, not a memory budget);
+// -quantiles exact opts small fleets into exact order statistics.
 // Output on stdout is bit-identical for every -parallel value (CI diffs
 // serial against pooled); wall-clock throughput goes to stderr.
 package main
@@ -52,7 +59,8 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		replicas = fs.Int("replicas", 1, "independent fleet replications to pool")
 		parallel = fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS, 1 = serial)")
 		asJSON   = fs.Bool("json", false, "emit a JSON report instead of the table")
-		progress = fs.Bool("progress", false, "print shard completion progress to stderr")
+		quant    = fs.String("quantiles", "sketch", "wait percentiles: sketch (mergeable log-binned, 1% relative error, memory independent of -devices) or exact (order statistics, O(devices) memory)")
+		progress = fs.Bool("progress", false, "print periodic devices/s progress to stderr (for long million-device runs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -82,15 +90,32 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 			QueueCap:      *queueCap,
 			LatencyWeight: *latW,
 			ShardSize:     *shard,
+			Quantiles:     fleet.QuantileMode(*quant),
 		},
 	}
 	par := experiment.Parallel{Workers: *parallel}
 	if *progress {
+		// Periodic devices/s to stderr (throttled to ~1/s): replicas run
+		// sequentially and each restarts its shard counter at 1, so a
+		// replica's shards are banked into prevShards the moment its
+		// last shard folds. The shard grid is uniform, so done/total is
+		// the fraction of the current replica's devices already folded.
+		start := time.Now()
+		var last time.Time
+		prevShards := 0
 		par.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d shards", done, total)
+			shardsDone := prevShards + done
 			if done == total {
-				fmt.Fprintln(os.Stderr)
+				prevShards += total
 			}
+			now := time.Now()
+			if now.Sub(last) < time.Second && done != total {
+				return
+			}
+			last = now
+			devicesDone := float64(shardsDone) / float64(total) * float64(*devices)
+			fmt.Fprintf(os.Stderr, "\r# %.0f devices done (%.0f devices/s)",
+				devicesDone, devicesDone/now.Sub(start).Seconds())
 		}
 	}
 
@@ -100,13 +125,16 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 
 	start := time.Now()
 	sum, err := experiment.RunFleetReplicatedCtx(ctx, sc, engine.DeriveSeeds(*seed, *replicas), par)
+	if *progress {
+		fmt.Fprintln(os.Stderr) // terminate the \r-overwritten progress line
+	}
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
 
 	if *asJSON {
-		if err := writeJSON(w, sum); err != nil {
+		if err := writeJSON(w, sum, sc.Spec.Quantiles); err != nil {
 			return err
 		}
 	} else {
@@ -141,6 +169,7 @@ type jsonGroup struct {
 // jsonReport is the machine-readable fleet report.
 type jsonReport struct {
 	Mode        string      `json:"mode"`
+	Quantiles   string      `json:"quantiles"`
 	Devices     int64       `json:"devices"`
 	Replicas    int         `json:"replicas"`
 	HorizonSec  float64     `json:"horizon_sec"`
@@ -176,7 +205,7 @@ func group(c *fleet.ClassStats) jsonGroup {
 
 // writeJSON emits the report; percentile computation is the only
 // fallible step (empty fleets cannot happen past validation).
-func writeJSON(w io.Writer, sum *experiment.FleetSummary) error {
+func writeJSON(w io.Writer, sum *experiment.FleetSummary, quant fleet.QuantileMode) error {
 	q := func(p float64) (float64, error) { return sum.Fleet.WaitQuantile(p) }
 	p50, err := q(0.50)
 	if err != nil {
@@ -192,6 +221,7 @@ func writeJSON(w io.Writer, sum *experiment.FleetSummary) error {
 	}
 	rep := jsonReport{
 		Mode:        string(sum.Fleet.Mode),
+		Quantiles:   string(quant),
 		Devices:     sum.Fleet.Devices,
 		Replicas:    sum.Replicas,
 		HorizonSec:  sum.Fleet.HorizonSec,

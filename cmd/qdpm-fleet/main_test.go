@@ -86,3 +86,63 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestRunQuantileModes: sketch is the default and reports quantiles
+// within the documented bound of an exact-mode run of the same fleet;
+// exact mode labels its report; bad modes are rejected.
+func TestRunQuantileModes(t *testing.T) {
+	base := []string{"-devices", "400", "-horizon", "30", "-seed", "9", "-json"}
+	var sk, ex bytes.Buffer
+	if err := run(context.Background(), &sk, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), &ex, append(base, "-quantiles", "exact")); err != nil {
+		t.Fatal(err)
+	}
+	var rsk, rex jsonReport
+	if err := json.Unmarshal(sk.Bytes(), &rsk); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(ex.Bytes(), &rex); err != nil {
+		t.Fatal(err)
+	}
+	if rsk.Quantiles != "sketch" || rex.Quantiles != "exact" {
+		t.Fatalf("quantile labels wrong: %q / %q", rsk.Quantiles, rex.Quantiles)
+	}
+	// Same fleet, same seeds: everything but the percentile estimator is
+	// identical, and the sketch must sit within its 1% bound.
+	if rsk.EnergyJ != rex.EnergyJ || rsk.Arrived != rex.Arrived {
+		t.Fatalf("quantile mode changed simulation results: %+v vs %+v", rsk, rex)
+	}
+	for _, pair := range [][2]float64{
+		{rsk.WaitP50Sec, rex.WaitP50Sec},
+		{rsk.WaitP90Sec, rex.WaitP90Sec},
+		{rsk.WaitP99Sec, rex.WaitP99Sec},
+	} {
+		// The exact side interpolates between the order statistics the
+		// sketch brackets, so allow the bound plus interpolation slack.
+		if d := pair[0] - pair[1]; d > 0.05*pair[1]+1e-9 || d < -0.05*pair[1]-1e-9 {
+			t.Fatalf("sketch percentile %v too far from exact %v", pair[0], pair[1])
+		}
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, []string{"-devices", "10", "-quantiles", "bogus"}); err == nil {
+		t.Fatal("bogus -quantiles accepted")
+	}
+}
+
+// TestRunProgressFlag: -progress must not perturb stdout (the CI-diffed
+// surface) and the run still succeeds.
+func TestRunProgressFlag(t *testing.T) {
+	base := []string{"-devices", "50", "-horizon", "20", "-seed", "3"}
+	var plain, progress bytes.Buffer
+	if err := run(context.Background(), &plain, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), &progress, append(base, "-progress")); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != progress.String() {
+		t.Fatal("-progress changed stdout")
+	}
+}

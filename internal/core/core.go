@@ -244,6 +244,29 @@ func New(cfg Config) (*Manager, error) {
 	return m, nil
 }
 
+// Reset restores the manager to its freshly-constructed state — Q-table
+// at zero, exploration schedule rewound, pending semi-Markov experience
+// and QoS multiplier cleared — and rebinds its exploration randomness to
+// stream (pass the existing cfg.Stream to keep it). A Reset manager is
+// behaviorally bit-identical to New(cfg) with that stream, reusing every
+// buffer: the fleet layer cycles one manager per (worker, class) through
+// thousands of instances with zero heap traffic.
+func (m *Manager) Reset(stream *rng.Stream) {
+	m.agent.Reset()
+	m.hasPending = false
+	m.pending = pendingExp{}
+	m.hasSarsa = false
+	m.sarsaReady = completedExp{}
+	m.fuzzyStates = nil
+	m.fuzzyWeights = nil
+	m.qosLambda = 0
+	m.backlogAcc = 0
+	m.backlogN = 0
+	m.lastAdaptAt = 0
+	m.decisions = 0
+	m.cfg.Stream = stream
+}
+
 // queueBucket maps an observed queue length to an encoder bucket.
 func (m *Manager) queueBucket(q int) int {
 	if q < 0 {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/device"
@@ -392,3 +393,65 @@ func TestSMDPAccountingDuringTransitions(t *testing.T) {
 }
 
 func mathAbs(x float64) float64 { return math.Abs(x) }
+
+// TestManagerResetBitIdenticalToFresh: after a full learning run, Reset
+// restores the manager so a second run replays bit-identically to a
+// freshly built manager — the reuse contract the fleet layer's
+// zero-allocation instance lifecycle rests on — without allocating.
+func TestManagerResetBitIdenticalToFresh(t *testing.T) {
+	runSim := func(m *Manager, seed uint64) slotsim.Metrics {
+		sim, err := slotsim.New(slotsim.Config{
+			Device:        synthDev(t),
+			Arrivals:      mustBernoulli(t, 0.25),
+			QueueCap:      8,
+			Policy:        m,
+			Stream:        rng.New(seed),
+			LatencyWeight: 0.3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		met, err := sim.Run(4000, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return met
+	}
+
+	reused, err := New(managerConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSim(reused, 21) // dirty the table, schedule, and pending state
+
+	stream := rng.New(1) // fresh exploration stream, same seed as cfg
+	allocs := testing.AllocsPerRun(1, func() { reused.Reset(stream) })
+	if allocs != 0 {
+		t.Fatalf("Manager.Reset allocates %.1f times", allocs)
+	}
+	reused.Reset(rng.New(1))
+	fresh, err := New(managerConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := runSim(reused, 33), runSim(fresh, 33)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("reset manager run diverges from fresh:\n%+v\nvs\n%+v", a, b)
+	}
+	if reused.Decisions() != fresh.Decisions() {
+		t.Fatalf("decision counters diverge: %d vs %d", reused.Decisions(), fresh.Decisions())
+	}
+	if g, w := reused.Agent().Updates(), fresh.Agent().Updates(); g != w {
+		t.Fatalf("update counters diverge: %d vs %d", g, w)
+	}
+}
+
+// mustBernoulli builds a Bernoulli arrival process or fails the test.
+func mustBernoulli(t *testing.T, p float64) workload.Arrivals {
+	t.Helper()
+	arr, err := workload.NewBernoulli(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}

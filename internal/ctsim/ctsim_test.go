@@ -327,3 +327,43 @@ func TestConfigValidation(t *testing.T) {
 		t.Errorf("valid config rejected: %v", err)
 	}
 }
+
+// TestSourceReset: both source kinds rewind in place — a reset renewal
+// source replays the same arrival sequence a fresh one would, and a
+// reset trace source restarts at the first recorded time.
+func TestSourceReset(t *testing.T) {
+	d, err := dist.NewExponential(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ren, err := ctsim.NewRenewalSource(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(3)
+	for i := 0; i < 100; i++ {
+		ren.Next(s)
+	}
+	ren.Reset()
+	fresh, err := ctsim.NewRenewalSource(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := rng.New(8), rng.New(8)
+	for i := 0; i < 200; i++ {
+		if got, want := ren.Next(sa), fresh.Next(sb); got != want {
+			t.Fatalf("arrival %d: reset source %v != fresh %v", i, got, want)
+		}
+	}
+
+	tr, err := ctsim.NewTraceSource(&trace.Trace{Times: []float64{0.5, 1.5, 2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !math.IsInf(tr.Next(nil), 1) {
+	}
+	tr.Reset()
+	if got := tr.Next(nil); got != 0.5 {
+		t.Fatalf("reset trace source starts at %v, want 0.5", got)
+	}
+}

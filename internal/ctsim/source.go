@@ -45,6 +45,11 @@ func (r *RenewalSource) Next(s *rng.Stream) float64 {
 	return r.t
 }
 
+// Reset rewinds the cursor to time zero, so the source can drive a new
+// simulation instance without reconstruction. The distribution is
+// untouched (it is stateless by the dist.Continuous contract).
+func (r *RenewalSource) Reset() { r.t = 0 }
+
 func (r *RenewalSource) String() string { return fmt.Sprintf("renewal(%s)", r.D) }
 
 // TraceSource replays a recorded trace's arrival times. Multiple sources
@@ -75,5 +80,8 @@ func (t *TraceSource) Next(*rng.Stream) float64 {
 	t.pos++
 	return v
 }
+
+// Reset rewinds the playback cursor to the first recorded arrival.
+func (t *TraceSource) Reset() { t.pos = 0 }
 
 func (t *TraceSource) String() string { return fmt.Sprintf("trace(%d requests)", len(t.times)) }

@@ -194,6 +194,146 @@ dispatch:
 	return results, ctx.Err()
 }
 
+// MapReduceWorkers runs fn(ctx, worker, i) like MapWorkers but streams
+// the results into reduce in strict job-index order instead of
+// collecting them: reduce(0, v0) completes before reduce(1, v1), and so
+// on, so an order-sensitive fold (a merge tree reduced left to right)
+// gets exactly the sequential reduction regardless of worker count.
+//
+// Memory is O(workers), not O(n): dispatch is gated by a window of
+// 2×workers tokens, each held from the moment a job is handed out until
+// its result has been folded, so at most 2×workers results ever exist
+// at once (in flight or buffered waiting on a predecessor). This is
+// what lets a million-device fleet stream per-shard summaries through a
+// fold without materializing one summary per shard. The window also
+// bounds head-of-line stalls: a slow job can idle the pool only after
+// the workers run 2×workers jobs ahead of it.
+//
+// reduce calls are serialized (no locking needed inside) but run on
+// worker goroutines, so a slow reduce backpressures the pool. A reduce
+// error cancels the remaining work like a job error. Error, panic, and
+// cancellation semantics otherwise match MapWorkers; on failure some
+// prefix of the results may already have been reduced. MapWorkers is
+// deliberately not implemented on top of this function: its callers
+// want ungated dispatch (no token window, no head-of-line coupling
+// between a slow job and later dispatch), which is the right discipline
+// when all results are materialized anyway.
+func MapReduceWorkers[T any](ctx context.Context, p *Pool, n int,
+	fn func(ctx context.Context, worker, i int) (T, error),
+	reduce func(i int, v T) error,
+) error {
+	if n < 0 {
+		return fmt.Errorf("engine: negative job count %d", n)
+	}
+	if n == 0 {
+		return ctx.Err()
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := p.workers(n)
+	window := 2 * workers
+	// tokens gates dispatch: acquired before a job is handed out,
+	// released after its result is folded. Capacity bounds live results.
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+
+	var (
+		mu       sync.Mutex
+		done     int
+		firstErr error
+		next     int
+		pending  = make(map[int]T, window)
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	// deliver buffers one result and folds every consecutively available
+	// result from `next` on, releasing one token per folded job. Calls
+	// are serialized under mu, so reduce needs no locking of its own and
+	// the fold order is exactly 0, 1, 2, ...
+	deliver := func(i int, v T) error {
+		mu.Lock()
+		defer mu.Unlock()
+		pending[i] = v
+		for {
+			v, ok := pending[next]
+			if !ok {
+				return nil
+			}
+			delete(pending, next)
+			if err := reduce(next, v); err != nil {
+				return fmt.Errorf("engine: reduce %d: %w", next, err)
+			}
+			next++
+			tokens <- struct{}{} // never blocks: releases <= acquisitions
+			done++
+			if p != nil && p.Progress != nil {
+				p.Progress(done, n)
+			}
+		}
+	}
+
+	runJob := func(worker, i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				fail(&PanicError{Index: i, Value: v, Stack: debug.Stack()})
+			}
+		}()
+		v, err := fn(ctx, worker, i)
+		if err != nil {
+			fail(fmt.Errorf("engine: job %d: %w", i, err))
+			return
+		}
+		if err := deliver(i, v); err != nil {
+			fail(err)
+		}
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := workers - 1; w >= 0; w-- {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range jobs {
+				runJob(worker, i)
+			}
+		}(w)
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case <-tokens:
+		case <-ctx.Done():
+			break dispatch
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
 // DeriveSeeds expands a base seed into n deterministic, statistically
 // independent replica seeds. The expansion is a pure function of (base, n
 // prefix): DeriveSeeds(b, m)[:k] == DeriveSeeds(b, k) for k <= m, so
@@ -208,4 +348,21 @@ func DeriveSeeds(base uint64, n int) []uint64 {
 		seeds[i] = src.Uint64()
 	}
 	return seeds
+}
+
+// SeedFor returns member i's derived seed as a pure O(1) function of
+// (base, i) — random access into an unbounded seed sequence. DeriveSeeds
+// materializes a vector (the right shape for replica lists); SeedFor is
+// for populations too large to hold one word per member — the fleet
+// layer seeds a million instances with it while keeping resident memory
+// independent of the device count. The two derivations are distinct
+// sequences; a consumer must pick one and stay with it.
+func SeedFor(base, i uint64) uint64 {
+	// SplitMix64 finalizer over a golden-ratio-strided index: the
+	// standard O(1) sequence splitter (avalanching mixer, distinct
+	// odd-stride inputs), statistically independent across i and base.
+	x := base + 0x9e3779b97f4a7c15*(i+1)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }

@@ -287,3 +287,106 @@ func TestMapWorkersScratchReuse(t *testing.T) {
 		t.Fatalf("scratch uses %d, want %d", total, n)
 	}
 }
+
+// TestMapReduceWorkersOrderedFold: under adversarial scheduling (random
+// per-job sleeps, many workers) the reduce sees every index exactly
+// once, in strict ascending order, with the right value — so an
+// order-sensitive fold matches the sequential reduction bit for bit.
+func TestMapReduceWorkersOrderedFold(t *testing.T) {
+	const n = 200
+	for _, workers := range []int{1, 3, 16} {
+		var got []int
+		var buffered, maxBuffered atomic.Int64
+		err := MapReduceWorkers(context.Background(), &Pool{Workers: workers}, n,
+			func(_ context.Context, _, i int) (int, error) {
+				time.Sleep(time.Duration(i%7) * 100 * time.Microsecond)
+				if b := buffered.Add(1); b > maxBuffered.Load() {
+					maxBuffered.Store(b)
+				}
+				return i * i, nil
+			},
+			func(i, v int) error {
+				buffered.Add(-1)
+				got = append(got, v) // no lock: reduce calls are serialized
+				if v != i*i {
+					return fmt.Errorf("reduce(%d) got %d", i, v)
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: reduced %d results, want %d", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: reduce order broken at %d: %d", workers, i, v)
+			}
+		}
+		// Completed-but-unfolded results stay within the dispatch window
+		// of 2×workers tokens (the O(workers) memory contract).
+		if mb := maxBuffered.Load(); mb > int64(2*workers) {
+			t.Fatalf("workers=%d: %d results buffered at once (window %d)", workers, mb, 2*workers)
+		}
+		maxBuffered.Store(0)
+	}
+}
+
+// TestMapReduceWorkersErrors: job errors and reduce errors both cancel
+// the run and surface; a cancelled context aborts promptly.
+func TestMapReduceWorkersErrors(t *testing.T) {
+	boom := errors.New("boom")
+	err := MapReduceWorkers(context.Background(), &Pool{Workers: 4}, 50,
+		func(_ context.Context, _, i int) (int, error) {
+			if i == 13 {
+				return 0, boom
+			}
+			return i, nil
+		},
+		func(int, int) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("job error lost: %v", err)
+	}
+
+	err = MapReduceWorkers(context.Background(), &Pool{Workers: 4}, 50,
+		func(_ context.Context, _, i int) (int, error) { return i, nil },
+		func(i, _ int) error {
+			if i == 7 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("reduce error lost: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = MapReduceWorkers(ctx, nil, 50,
+		func(ctx context.Context, _, i int) (int, error) { return i, ctx.Err() },
+		func(int, int) error { return nil })
+	if err == nil {
+		t.Fatal("cancelled context returned nil")
+	}
+}
+
+// TestSeedForProperties: SeedFor is deterministic, O(1)-pure (same
+// (base, i) -> same seed), and collision-free across a large index range
+// and across nearby bases.
+func TestSeedForProperties(t *testing.T) {
+	if SeedFor(7, 3) != SeedFor(7, 3) {
+		t.Fatal("SeedFor not deterministic")
+	}
+	seen := make(map[uint64]string, 300000)
+	for base := uint64(0); base < 3; base++ {
+		for i := uint64(0); i < 100000; i++ {
+			s := SeedFor(base, i)
+			key := fmt.Sprintf("%d/%d", base, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (%s) and (%s) both derive %d", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+}

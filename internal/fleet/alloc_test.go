@@ -5,51 +5,75 @@ import (
 	"testing"
 
 	"repro/internal/ctsim"
-	"repro/internal/dist"
-	"repro/internal/rng"
 )
 
-// instanceSim builds instance i's CT simulator exactly the way
-// runInstanceCT does — same config, same stream layout — so the alloc
-// gate measures the real fleet hot path.
-func instanceSim(t testing.TB, r *runner, i int) *ctsim.Sim {
+// warmScratch returns a worker scratch that has already run every class
+// of r's mix once in the given mode, so pooled policies, sources,
+// simulators, and ring buffers exist at their high-water marks — the
+// steady state a long-lived fleet worker operates in.
+func warmScratch(t testing.TB, r *runner, sum *Summary) *workerScratch {
 	t.Helper()
-	cc := &r.classes[r.classOf(i)]
-	root := rng.New(r.seeds[i])
-	polStream := root.Split()
-	simStream := root.Split()
-	pol, err := buildSlotPolicy(cc, r.spec.QueueCap, r.spec.LatencyWeight, polStream)
-	if err != nil {
-		t.Fatal(err)
+	ws := &workerScratch{}
+	ctx := context.Background()
+	for i := 0; i < len(r.pattern); i++ {
+		var err error
+		if r.spec.Mode == ModeCT {
+			err = r.runInstanceCT(ctx, i, ws, sum)
+		} else {
+			err = r.runInstanceSlot(ctx, i, ws, sum)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
-	d, err := dist.ByName(cc.src.Dist, cc.src.RatePerSec)
-	if err != nil {
-		t.Fatal(err)
+	return ws
+}
+
+// TestFleetInstanceSetupAllocationFree is the acceptance gate for the
+// zero-allocation instance lifecycle: once a worker's pooled object set
+// is warm, running a complete fleet instance — stream reseed, policy and
+// source reset, simulator Reset, full horizon, metrics fold — performs
+// zero heap allocations, in both kernels and for every class of the
+// default mix (the Q-DPM learner included). Part of the CI
+// allocation-regression step (AllocationFree name match).
+func TestFleetInstanceSetupAllocationFree(t *testing.T) {
+	for _, mode := range []Mode{ModeCT, ModeSlot} {
+		t.Run(string(mode), func(t *testing.T) {
+			spec := Spec{Devices: 64, Classes: DefaultMix(), Mode: mode, Horizon: 64, Seed: 3}
+			r, err := newRunner(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := newSummary(r, 0)
+			ws := warmScratch(t, r, sum)
+			ctx := context.Background()
+			i := 0
+			allocs := testing.AllocsPerRun(16, func() {
+				var err error
+				if mode == ModeCT {
+					err = r.runInstanceCT(ctx, i%spec.Devices, ws, sum)
+				} else {
+					err = r.runInstanceSlot(ctx, i%spec.Devices, ws, sum)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("%s instance lifecycle allocates %.1f times per instance after warm-up", mode, allocs)
+			}
+		})
 	}
-	src, err := ctsim.NewRenewalSource(d)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sim, err := ctsim.New(ctsim.Config{
-		Device:         cc.src.Device,
-		QueueCap:       r.spec.QueueCap,
-		LatencyWeight:  r.spec.LatencyWeight / r.spec.Period,
-		Policy:         ctsim.Adapt(pol, r.spec.Period),
-		Source:         src,
-		Stream:         simStream,
-		DecisionPeriod: r.spec.Period,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return sim
 }
 
 // TestFleetCTEventLoopAllocationFree is the fleet acceptance gate for
 // the CT hot path: for every class of the default mix — fixed timeout,
 // greedy-off, and the adapted Q-DPM learner included — the steady-state
-// event loop of a fleet instance performs zero heap allocations. Part
-// of the CI allocation-regression step (AllocationFree name match).
+// event loop of a fleet instance performs zero heap allocations. The
+// simulator is prepared exactly the way runInstanceCT prepares it (same
+// pooled objects, same stream layout). Part of the CI
+// allocation-regression step (AllocationFree name match).
 func TestFleetCTEventLoopAllocationFree(t *testing.T) {
 	spec := Spec{Devices: 8, Classes: DefaultMix(), Mode: ModeCT, Horizon: 1e9, Seed: 3}
 	r, err := newRunner(spec)
@@ -67,7 +91,25 @@ func TestFleetCTEventLoopAllocationFree(t *testing.T) {
 			}
 		}
 		t.Run(r.classes[ci].name, func(t *testing.T) {
-			sim := instanceSim(t, r, inst)
+			ws := &workerScratch{}
+			cc := &r.classes[ci]
+			cs, err := r.prepareInstance(inst, ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs.src.Reset()
+			sim, err := ctsim.New(ctsim.Config{
+				Device:         cc.src.Device,
+				QueueCap:       r.spec.QueueCap,
+				LatencyWeight:  r.spec.LatencyWeight / r.spec.Period,
+				Policy:         cs.adapted,
+				Source:         cs.src,
+				Stream:         &ws.simStream,
+				DecisionPeriod: r.spec.Period,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
 			until := 2048.0
 			if err := sim.Run(until); err != nil { // warm: ring growth, learner tables
 				t.Fatal(err)
@@ -89,8 +131,8 @@ func TestFleetCTEventLoopAllocationFree(t *testing.T) {
 }
 
 // BenchmarkFleetInstanceCT measures one full fleet CT instance through
-// the worker reuse path (Reset, run, MetricsInto), reporting ns/event.
-// One op = one instance at a 512 s horizon.
+// the worker reuse path (reseed, reset, run, MetricsInto), reporting
+// ns/event. One op = one instance at a 512 s horizon.
 func BenchmarkFleetInstanceCT(b *testing.B) {
 	spec := Spec{Devices: 64, Classes: DefaultMix(), Mode: ModeCT, Horizon: 512, Seed: 5}
 	r, err := newRunner(spec)
@@ -102,7 +144,6 @@ func BenchmarkFleetInstanceCT(b *testing.B) {
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sum.Waits = sum.Waits[:0]
 		if err := r.runInstanceCT(ctx, i%spec.Devices, &ws, sum); err != nil {
 			b.Fatal(err)
 		}

@@ -14,7 +14,8 @@
 // Determinism contract (the repository-wide one, extended to fleets):
 //
 //   - Instance i's randomness is a pure function of (Spec.Seed, i): the
-//     per-instance seed comes from engine.DeriveSeeds, and the instance's
+//     per-instance seed is engine.SeedFor(Spec.Seed, i) — an O(1) random
+//     access, so no per-device seed vector exists — and the instance's
 //     root stream splits into policy and simulator streams exactly like
 //     the experiment layer's replicas, so a fleet instance with seed s is
 //     bit-identical to a single-replica run with seed s.
@@ -23,12 +24,21 @@
 //     are reduced in shard-index order. A pooled run is therefore
 //     bit-identical to a serial run for every -parallel value (CI diffs
 //     qdpm-fleet output across pool sizes).
-//   - Workers reuse one ctsim.Sim and one metrics scratch across the
-//     shards they run (ctsim.Sim.Reset is bit-identical to a fresh
-//     build), so per-worker state never influences results — it only
-//     keeps instance turnover off the allocator. In CT mode the event
-//     loop itself is allocation-free in steady state (see
-//     TestFleetCTEventLoopAllocationFree).
+//   - Workers reuse everything: one simulator (ctsim.Sim or
+//     slotsim.Sim), one metrics scratch, and per class one pooled
+//     policy, adapter, and arrival source, plus three in-place-reseeded
+//     rng streams. Every reused object carries a Reset that restores
+//     freshly-constructed state bit for bit, so per-worker state never
+//     influences results — it only keeps instance turnover off the
+//     allocator entirely: after warm-up a complete instance lifecycle
+//     performs zero heap allocations in both kernels
+//     (TestFleetInstanceSetupAllocationFree), and the CT event loop
+//     itself is allocation-free in steady state
+//     (TestFleetCTEventLoopAllocationFree).
+//   - Shard summaries stream through an index-ordered fold
+//     (engine.MapReduceWorkers) and wait percentiles default to a
+//     mergeable log-binned sketch (Spec.Quantiles), so fleet memory is
+//     O(workers + classes), independent of the device count.
 package fleet
 
 import (
@@ -59,6 +69,28 @@ const (
 	// discretization the paper studies, at fleet scale.
 	ModeSlot Mode = "slot"
 )
+
+// QuantileMode selects how fleet-level wait percentiles are computed.
+type QuantileMode string
+
+const (
+	// QuantilesSketch (the default) accumulates per-instance mean waits
+	// into a mergeable log-binned sketch (stats.QuantileSketch) with
+	// relative accuracy WaitSketchAccuracy. Memory is O(log range) per
+	// shard summary — independent of the device count — which is what
+	// keeps a million-device fleet's footprint bounded.
+	QuantilesSketch QuantileMode = "sketch"
+	// QuantilesExact additionally keeps every instance's mean wait in
+	// instance order, so WaitQuantile returns exact order statistics.
+	// Memory is O(devices); meant for small fleets and for auditing the
+	// sketch (TestSketchQuantilesWithinBoundOfExact).
+	QuantilesExact QuantileMode = "exact"
+)
+
+// WaitSketchAccuracy is the sketch mode's relative-error bound: every
+// reported wait percentile is within 1% of the corresponding exact
+// order statistic (see stats.QuantileSketch for the precise statement).
+const WaitSketchAccuracy = 0.01
 
 // Class describes one homogeneous sub-population of the fleet: a catalog
 // device under an interarrival law, managed by a named policy. Instances
@@ -133,6 +165,8 @@ type Spec struct {
 	// it in the aggregate, but the shard decomposition is part of the
 	// summary's merge tree, so keep it fixed when comparing runs.
 	ShardSize int
+	// Quantiles selects sketch (default) or exact wait percentiles.
+	Quantiles QuantileMode
 	// Seed roots the per-instance seed derivation.
 	Seed uint64
 }
@@ -185,6 +219,12 @@ func (sp *Spec) Validate() error {
 	if sp.ShardSize < 1 {
 		return fmt.Errorf("fleet: shard size %d must be >= 1", sp.ShardSize)
 	}
+	if sp.Quantiles == "" {
+		sp.Quantiles = QuantilesSketch
+	}
+	if sp.Quantiles != QuantilesSketch && sp.Quantiles != QuantilesExact {
+		return fmt.Errorf("fleet: unknown quantile mode %q (want %q or %q)", sp.Quantiles, QuantilesSketch, QuantilesExact)
+	}
 	for i := range sp.Classes {
 		if err := sp.Classes[i].validate(i); err != nil {
 			return err
@@ -202,7 +242,9 @@ func (sp *Spec) Shards() int {
 // Runner
 
 // class is a Class compiled for execution: slotted device form, class
-// label, and the always-on reference power.
+// label, the always-on reference power, and the interarrival law
+// compiled once in the running kernel's units (seconds for CT, slots
+// for slot mode) so instances never re-box a dist.Continuous.
 type compiledClass struct {
 	src      Class
 	name     string
@@ -210,25 +252,82 @@ type compiledClass struct {
 	maxPower float64
 	polName  string
 	polParam float64
+	arrDist  dist.Continuous
 }
 
-// runner holds the per-run immutable state shared by every shard.
+// runner holds the per-run immutable state shared by every shard. It is
+// O(classes): per-instance seeds are computed on demand
+// (engine.SeedFor), so the runner holds no per-device state at all.
 type runner struct {
 	spec    Spec
 	classes []compiledClass
 	// pattern maps i % len(pattern) to a class index — the weighted
 	// round-robin interleave that assigns instances to classes.
 	pattern []int
-	seeds   []uint64
 }
 
-// workerScratch is one worker's reusable simulation state. The CT
-// simulator and metrics scratch survive across every shard the worker
-// runs; Reset keeps replica turnover off the allocator without
-// influencing results.
+// workerScratch is one worker's reusable simulation state: the
+// simulators and metrics scratch plus one pooled (policy, adapter,
+// source) set per class and three in-place-reseeded rng streams. Every
+// piece survives across all the shards the worker runs — the instance
+// lifecycle is Reseed + Reset + Run with zero heap traffic
+// (TestFleetInstanceSetupAllocationFree) — without influencing results:
+// a reset object is bit-identical to a freshly built one.
 type workerScratch struct {
 	sim     *ctsim.Sim
+	slot    *slotsim.Sim
 	metrics ctsim.Metrics
+	classes []classScratch
+
+	// Per-instance stream derivation, in place: root is reseeded from
+	// the instance seed and split into the policy and simulator streams,
+	// reproducing rng.New(seed).Split()/.Split() bit for bit.
+	root      rng.Stream
+	polStream rng.Stream
+	simStream rng.Stream
+}
+
+// classScratch is one worker's pooled object set for one class.
+type classScratch struct {
+	pol      slotsim.Policy
+	resetPol func(*rng.Stream)
+	adapted  ctsim.Policy         // CT mode: pol behind the slot adapter
+	src      *ctsim.RenewalSource // CT mode arrival source
+	arr      *workload.Renewal    // slot mode arrival process
+}
+
+// classState returns the worker's pooled objects for class ci, building
+// them on first use (the only allocations a worker ever performs per
+// class; every instance after that reuses them via resets).
+func (ws *workerScratch) classState(r *runner, ci int) (*classScratch, error) {
+	if ws.classes == nil {
+		ws.classes = make([]classScratch, len(r.classes))
+	}
+	cs := &ws.classes[ci]
+	if cs.pol != nil {
+		return cs, nil
+	}
+	cc := &r.classes[ci]
+	pol, err := buildSlotPolicy(cc, r.spec.QueueCap, r.spec.LatencyWeight, &ws.polStream)
+	if err != nil {
+		return nil, err
+	}
+	reset, err := policyReset(pol)
+	if err != nil {
+		return nil, err
+	}
+	cs.pol, cs.resetPol = pol, reset
+	if r.spec.Mode == ModeCT {
+		cs.adapted = ctsim.Adapt(pol, r.spec.Period)
+		if cs.src, err = ctsim.NewRenewalSource(cc.arrDist); err != nil {
+			return nil, err
+		}
+	} else {
+		if cs.arr, err = workload.NewRenewal(cc.arrDist); err != nil {
+			return nil, err
+		}
+	}
+	return cs, nil
 }
 
 func newRunner(spec Spec) (*runner, error) {
@@ -246,6 +345,16 @@ func newRunner(spec Spec) (*runner, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Interarrival law in the running kernel's time unit: seconds
+		// for CT; slots for slot mode (rate/sec × period = rate/slot).
+		arrRate := c.RatePerSec
+		if spec.Mode == ModeSlot {
+			arrRate *= spec.Period
+		}
+		arrDist, err := dist.ByName(c.Dist, arrRate)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: class %d (%s): %w", ci, c.Name(), err)
+		}
 		r.classes = append(r.classes, compiledClass{
 			src:      c,
 			name:     c.Name(),
@@ -253,12 +362,12 @@ func newRunner(spec Spec) (*runner, error) {
 			maxPower: c.Device.MaxPower(),
 			polName:  name,
 			polParam: param,
+			arrDist:  arrDist,
 		})
 		for w := 0; w < c.Weight; w++ {
 			r.pattern = append(r.pattern, ci)
 		}
 	}
-	r.seeds = engine.DeriveSeeds(spec.Seed, spec.Devices)
 	return r, nil
 }
 
@@ -271,32 +380,39 @@ func (r *runner) classOf(i int) int { return r.pattern[i%len(r.pattern)] }
 // (slot mode) and poll the context between chunks.
 const cancelChunkTicks = 8192
 
+// prepareInstance points the worker's pooled objects at instance i:
+// class objects built (first use only), streams reseeded from the
+// instance seed, policy and source reset. After it returns, running the
+// instance is bit-identical to building everything fresh — with zero
+// heap allocations (TestFleetInstanceSetupAllocationFree).
+func (r *runner) prepareInstance(i int, ws *workerScratch) (*classScratch, error) {
+	cs, err := ws.classState(r, r.classOf(i))
+	if err != nil {
+		return nil, err
+	}
+	ws.root.Reseed(engine.SeedFor(r.spec.Seed, uint64(i)))
+	ws.root.SplitInto(&ws.polStream)
+	ws.root.SplitInto(&ws.simStream)
+	cs.resetPol(&ws.polStream)
+	return cs, nil
+}
+
 // runInstanceCT executes instance i on the worker's reusable simulator
 // and folds its metrics into sum.
 func (r *runner) runInstanceCT(ctx context.Context, i int, ws *workerScratch, sum *Summary) error {
 	cc := &r.classes[r.classOf(i)]
-	root := rng.New(r.seeds[i])
-	polStream := root.Split()
-	simStream := root.Split()
-	pol, err := buildSlotPolicy(cc, r.spec.QueueCap, r.spec.LatencyWeight, polStream)
+	cs, err := r.prepareInstance(i, ws)
 	if err != nil {
 		return err
 	}
-	d, err := dist.ByName(cc.src.Dist, cc.src.RatePerSec)
-	if err != nil {
-		return err
-	}
-	src, err := ctsim.NewRenewalSource(d)
-	if err != nil {
-		return err
-	}
+	cs.src.Reset()
 	cfg := ctsim.Config{
 		Device:         cc.src.Device,
 		QueueCap:       r.spec.QueueCap,
 		LatencyWeight:  r.spec.LatencyWeight / r.spec.Period,
-		Policy:         ctsim.Adapt(pol, r.spec.Period),
-		Source:         src,
-		Stream:         simStream,
+		Policy:         cs.adapted,
+		Source:         cs.src,
+		Stream:         &ws.simStream,
 		DecisionPeriod: r.spec.Period,
 	}
 	if ws.sim == nil {
@@ -325,39 +441,31 @@ func (r *runner) runInstanceCT(ctx context.Context, i int, ws *workerScratch, su
 	return nil
 }
 
-// runInstanceSlot executes instance i on a fresh slotted simulator and
-// folds its metrics into sum. The slotted kernel has no Reset path; its
-// per-instance construction cost is a handful of allocations, which the
-// fleet benchmarks report but the CT acceptance gate does not cover.
-func (r *runner) runInstanceSlot(ctx context.Context, i int, sum *Summary) error {
+// runInstanceSlot executes instance i on the worker's reusable slotted
+// simulator and folds its metrics into sum.
+func (r *runner) runInstanceSlot(ctx context.Context, i int, ws *workerScratch, sum *Summary) error {
 	cc := &r.classes[r.classOf(i)]
-	root := rng.New(r.seeds[i])
-	polStream := root.Split()
-	simStream := root.Split()
-	pol, err := buildSlotPolicy(cc, r.spec.QueueCap, r.spec.LatencyWeight, polStream)
+	cs, err := r.prepareInstance(i, ws)
 	if err != nil {
 		return err
 	}
-	// Interarrival law in slot units: rate/sec × period = rate/slot.
-	d, err := dist.ByName(cc.src.Dist, cc.src.RatePerSec*r.spec.Period)
-	if err != nil {
-		return err
-	}
-	arr, err := workload.NewRenewal(d)
-	if err != nil {
-		return err
-	}
-	sim, err := slotsim.New(slotsim.Config{
+	cs.arr.Reset()
+	cfg := slotsim.Config{
 		Device:        cc.slotted,
-		Arrivals:      arr,
+		Arrivals:      cs.arr,
 		QueueCap:      r.spec.QueueCap,
-		Policy:        pol,
-		Stream:        simStream,
+		Policy:        cs.pol,
+		Stream:        &ws.simStream,
 		LatencyWeight: r.spec.LatencyWeight,
-	})
-	if err != nil {
+	}
+	if ws.slot == nil {
+		if ws.slot, err = slotsim.New(cfg); err != nil {
+			return err
+		}
+	} else if err = ws.slot.Reset(cfg); err != nil {
 		return err
 	}
+	sim := ws.slot
 	slots := int64(math.Ceil(r.spec.Horizon/r.spec.Period - 1e-9))
 	var m slotsim.Metrics
 	for remaining := slots; remaining > 0; {
@@ -402,7 +510,7 @@ func (r *runner) runShard(ctx context.Context, shard int, ws *workerScratch) (*S
 		if r.spec.Mode == ModeCT {
 			err = r.runInstanceCT(ctx, i, ws, sum)
 		} else {
-			err = r.runInstanceSlot(ctx, i, sum)
+			err = r.runInstanceSlot(ctx, i, ws, sum)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("fleet: instance %d (%s): %w", i, r.classes[r.classOf(i)].name, err)
@@ -414,7 +522,13 @@ func (r *runner) runShard(ctx context.Context, shard int, ws *workerScratch) (*S
 // Run simulates the fleet on the pool (nil pool = GOMAXPROCS workers)
 // and returns the merged fleet summary. Output is bit-identical for
 // every pool size: shards are a pure function of the spec and their
-// summaries are reduced in shard-index order.
+// summaries stream through the fold in shard-index order
+// (engine.MapReduceWorkers), so resident memory is O(workers + classes)
+// — per-worker pooled simulators plus a bounded window of in-flight
+// shard summaries — never O(devices), which is what makes a
+// million-device fleet a time budget rather than a memory budget. (The
+// exact-quantile opt-in is the one exception: it accumulates one float
+// per instance; see Spec.Quantiles.)
 func Run(ctx context.Context, spec Spec, pool *engine.Pool) (*Summary, error) {
 	r, err := newRunner(spec)
 	if err != nil {
@@ -422,16 +536,17 @@ func Run(ctx context.Context, spec Spec, pool *engine.Pool) (*Summary, error) {
 	}
 	shards := r.spec.Shards()
 	scratch := make([]workerScratch, pool.Size(shards))
-	parts, err := engine.MapWorkers(ctx, pool, shards,
+	total := newSummary(r, 0)
+	err = engine.MapReduceWorkers(ctx, pool, shards,
 		func(ctx context.Context, worker, si int) (*Summary, error) {
 			return r.runShard(ctx, si, &scratch[worker])
+		},
+		func(_ int, part *Summary) error {
+			total.Merge(part)
+			return nil
 		})
 	if err != nil {
 		return nil, err
-	}
-	total := newSummary(r, 0)
-	for _, p := range parts {
-		total.Merge(p)
 	}
 	total.Shards = shards
 	return total, nil

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/ctsim"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiment"
 	"repro/internal/fleet"
+	"repro/internal/stats"
 )
 
 // testSpec returns a small but heterogeneous fleet spec that runs in
@@ -29,35 +31,46 @@ func testSpec(mode fleet.Mode) fleet.Spec {
 
 // TestRunBitIdenticalAcrossPoolSizes pins the fleet determinism
 // contract: the merged summary — accumulator bits, per-class stats,
-// wait order — is identical for every worker count.
+// sketch bin counts, wait order — is identical for every worker count,
+// in both kernels and both quantile modes.
 func TestRunBitIdenticalAcrossPoolSizes(t *testing.T) {
 	for _, mode := range []fleet.Mode{fleet.ModeCT, fleet.ModeSlot} {
-		spec := testSpec(mode)
-		serial, err := fleet.Run(context.Background(), spec, &engine.Pool{Workers: 1})
-		if err != nil {
-			t.Fatalf("%s serial: %v", mode, err)
-		}
-		for _, workers := range []int{2, 4, 16} {
-			pooled, err := fleet.Run(context.Background(), spec, &engine.Pool{Workers: workers})
+		for _, quant := range []fleet.QuantileMode{fleet.QuantilesSketch, fleet.QuantilesExact} {
+			spec := testSpec(mode)
+			spec.Quantiles = quant
+			serial, err := fleet.Run(context.Background(), spec, &engine.Pool{Workers: 1})
 			if err != nil {
-				t.Fatalf("%s workers=%d: %v", mode, workers, err)
+				t.Fatalf("%s/%s serial: %v", mode, quant, err)
 			}
-			if !reflect.DeepEqual(serial, pooled) {
-				t.Fatalf("%s: summary differs between 1 and %d workers:\n%+v\nvs\n%+v",
-					mode, workers, serial, pooled)
+			for _, workers := range []int{2, 4, 16} {
+				pooled, err := fleet.Run(context.Background(), spec, &engine.Pool{Workers: workers})
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", mode, quant, workers, err)
+				}
+				if !reflect.DeepEqual(serial, pooled) {
+					t.Fatalf("%s/%s: summary differs between 1 and %d workers:\n%+v\nvs\n%+v",
+						mode, quant, workers, serial, pooled)
+				}
 			}
-		}
-		if serial.Devices != int64(spec.Devices) {
-			t.Fatalf("%s: %d devices simulated, want %d", mode, serial.Devices, spec.Devices)
-		}
-		if serial.Shards != (spec.Devices+spec.ShardSize-1)/spec.ShardSize {
-			t.Fatalf("%s: %d shards, want %d", mode, serial.Shards, spec.Shards())
-		}
-		if len(serial.Waits) != spec.Devices {
-			t.Fatalf("%s: %d waits recorded, want %d", mode, len(serial.Waits), spec.Devices)
-		}
-		if serial.Events == 0 || serial.Arrived == 0 {
-			t.Fatalf("%s: fleet simulated nothing: %+v", mode, serial)
+			if serial.Devices != int64(spec.Devices) {
+				t.Fatalf("%s: %d devices simulated, want %d", mode, serial.Devices, spec.Devices)
+			}
+			if serial.Shards != (spec.Devices+spec.ShardSize-1)/spec.ShardSize {
+				t.Fatalf("%s: %d shards, want %d", mode, serial.Shards, spec.Shards())
+			}
+			if serial.WaitSketch.N() != int64(spec.Devices) {
+				t.Fatalf("%s: sketch pooled %d instances, want %d", mode, serial.WaitSketch.N(), spec.Devices)
+			}
+			if quant == fleet.QuantilesExact {
+				if len(serial.Waits) != spec.Devices {
+					t.Fatalf("%s: %d waits recorded, want %d", mode, len(serial.Waits), spec.Devices)
+				}
+			} else if serial.Waits != nil {
+				t.Fatalf("%s: sketch mode retained a per-instance wait vector (%d entries)", mode, len(serial.Waits))
+			}
+			if serial.Events == 0 || serial.Arrived == 0 {
+				t.Fatalf("%s: fleet simulated nothing: %+v", mode, serial)
+			}
 		}
 	}
 }
@@ -69,7 +82,9 @@ func TestRunBitIdenticalAcrossPoolSizes(t *testing.T) {
 // tolerance.
 func TestRunIndependentOfShardSize(t *testing.T) {
 	a := testSpec(fleet.ModeCT)
+	a.Quantiles = fleet.QuantilesExact
 	b := testSpec(fleet.ModeCT)
+	b.Quantiles = fleet.QuantilesExact
 	b.ShardSize = 37 // single shard: the purely sequential reduction
 	sa, err := fleet.Run(context.Background(), a, nil)
 	if err != nil {
@@ -87,6 +102,67 @@ func TestRunIndependentOfShardSize(t *testing.T) {
 	}
 	if d := math.Abs(sa.AvgPowerW.Mean() - sb.AvgPowerW.Mean()); d > 1e-12 {
 		t.Fatalf("pooled power mean differs across shard sizes by %g", d)
+	}
+	// The sketch's integer bin counts are exactly associative, so sketch
+	// quantiles are bit-identical even across shard sizes (a stronger
+	// property than the float accumulators give).
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		qa, err := sa.WaitSketch.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qb, err := sb.WaitSketch.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qa != qb {
+			t.Fatalf("sketch quantile(%v) differs across shard sizes: %v vs %v", q, qa, qb)
+		}
+	}
+}
+
+// TestSketchQuantilesWithinBoundOfExact audits the sketch against exact
+// order statistics on a mixed fleet: an exact-mode run carries both, and
+// every sketch percentile must sit within the documented
+// WaitSketchAccuracy relative bound of the order statistics bracketing
+// the same rank.
+func TestSketchQuantilesWithinBoundOfExact(t *testing.T) {
+	spec := testSpec(fleet.ModeCT)
+	spec.Devices = 600
+	spec.Horizon = 30
+	spec.Quantiles = fleet.QuantilesExact
+	sum, err := fleet.Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]float64(nil), sum.Waits...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.95, 0.99, 1} {
+		est, err := sum.WaitSketch.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := q * float64(n-1)
+		lo := sorted[int(math.Floor(pos))]
+		hi := sorted[int(math.Ceil(pos))]
+		a := fleet.WaitSketchAccuracy
+		if est < lo*(1-a)-1e-12 || est > hi*(1+a)+1e-12 {
+			t.Errorf("sketch quantile(%v) = %v outside [%v, %v] ± %.0f%%", q, est, lo, hi, 100*a)
+		}
+	}
+	// The exact path must agree with a direct order-statistic
+	// computation (it is the same data).
+	p50, err := sum.WaitQuantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := stats.Quantile(sum.Waits, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p50 != want {
+		t.Fatalf("exact-mode WaitQuantile %v != stats.Quantile %v", p50, want)
 	}
 }
 
@@ -132,7 +208,7 @@ func TestInstanceMatchesExperimentCTReplica(t *testing.T) {
 			return src
 		},
 	}
-	seed := engine.DeriveSeeds(7, 1)[0]
+	seed := engine.SeedFor(7, 0)
 	m, err := experiment.RunCTOne(sc, experiment.TimeoutFactory(dev, 8), seed)
 	if err != nil {
 		t.Fatal(err)
@@ -255,7 +331,11 @@ func TestSpecValidate(t *testing.T) {
 	if sp.Mode != fleet.ModeCT || sp.Period != 0.5 || sp.QueueCap != 8 || sp.ShardSize == 0 {
 		t.Fatalf("defaults not filled: %+v", sp)
 	}
+	if sp.Quantiles != fleet.QuantilesSketch {
+		t.Fatalf("quantile default %q, want %q", sp.Quantiles, fleet.QuantilesSketch)
+	}
 	bad := []fleet.Spec{
+		{Devices: 10, Classes: fleet.DefaultMix(), Horizon: 100, Quantiles: "approximate"},
 		{Devices: 0, Classes: fleet.DefaultMix(), Horizon: 100},
 		{Devices: 10, Horizon: 100},
 		{Devices: 10, Classes: fleet.DefaultMix(), Horizon: 0},

@@ -40,9 +40,11 @@ func parsePolicy(tok string) (name string, param float64, err error) {
 	}
 }
 
-// buildSlotPolicy constructs one instance's slotted policy for the
-// class's slotted device. The Q-DPM learner uses the canonical
-// converging configuration (decaying exploration, polynomial rate).
+// buildSlotPolicy constructs one slotted policy for the class's slotted
+// device. The Q-DPM learner uses the canonical converging configuration
+// (decaying exploration, polynomial rate). Every returned policy is
+// resettable (see policyReset): one policy per (worker, class) serves
+// every instance of that class, reset per instance.
 func buildSlotPolicy(cc *compiledClass, queueCap int, latencyWeight float64, stream *rng.Stream) (slotsim.Policy, error) {
 	switch cc.polName {
 	case "always-on":
@@ -74,6 +76,22 @@ func buildSlotPolicy(cc *compiledClass, queueCap int, latencyWeight float64, str
 		})
 	default:
 		return nil, fmt.Errorf("fleet: unknown policy %q", cc.polName)
+	}
+}
+
+// policyReset derives the per-instance reset for a pooled policy: the
+// Q-DPM learner rebinds its exploration stream; the classical policies
+// restore their (possibly empty) adaptive state and ignore the stream.
+// Reset-then-run is bit-identical to constructing fresh, which is what
+// keeps instance turnover allocation-free.
+func policyReset(pol slotsim.Policy) (func(*rng.Stream), error) {
+	switch p := pol.(type) {
+	case *core.Manager:
+		return p.Reset, nil
+	case interface{ Reset() }:
+		return func(*rng.Stream) { p.Reset() }, nil
+	default:
+		return nil, fmt.Errorf("fleet: policy %s is not resettable", pol.Name())
 	}
 }
 

@@ -50,9 +50,10 @@ type instanceResult struct {
 // Merge contract: a Summary is a merge tree over per-instance samples.
 // The tree's shape is the shard decomposition plus the shard-index
 // reduction order, both pure functions of the Spec, so the merged result
-// is bit-identical for every worker count. Per-instance wait means are
-// additionally kept in instance order (Waits) for fleet-level latency
-// percentiles, which are exact order statistics, not sketches.
+// is bit-identical for every worker count. Per-instance wait means feed
+// the mergeable WaitSketch (whose integer bin counts are bit-identical
+// under any merge order); the exact opt-in (Spec.Quantiles ==
+// QuantilesExact) additionally keeps them in instance order in Waits.
 type Summary struct {
 	// Mode is the kernel the fleet ran on.
 	Mode Mode
@@ -76,19 +77,32 @@ type Summary struct {
 	LossRate        stats.Running
 	// Classes aggregates per class, index-aligned with Spec.Classes.
 	Classes []ClassStats
+	// WaitSketch pools every instance's mean wait (seconds) in a
+	// log-binned sketch with relative accuracy WaitSketchAccuracy.
+	WaitSketch *stats.QuantileSketch
 	// Waits holds every instance's mean wait in seconds, in instance
-	// order (shard merges concatenate in shard order).
+	// order (shard merges concatenate in shard order). Populated only
+	// under QuantilesExact; nil in sketch mode, where memory must stay
+	// independent of the device count.
 	Waits []float64
 }
 
 // newSummary returns an empty summary shaped for r's class list, with
-// Waits capacity for n instances.
+// Waits capacity for n instances when the spec asks for exact
+// quantiles.
 func newSummary(r *runner, n int) *Summary {
+	sk, err := stats.NewQuantileSketch(WaitSketchAccuracy)
+	if err != nil {
+		panic("fleet: wait sketch accuracy invalid: " + err.Error())
+	}
 	s := &Summary{
 		Mode:       r.spec.Mode,
 		HorizonSec: r.spec.Horizon,
 		Classes:    make([]ClassStats, len(r.classes)),
-		Waits:      make([]float64, 0, n),
+		WaitSketch: sk,
+	}
+	if r.spec.Quantiles == QuantilesExact {
+		s.Waits = make([]float64, 0, n)
 	}
 	for ci := range r.classes {
 		s.Classes[ci].Name = r.classes[ci].name
@@ -115,7 +129,10 @@ func (s *Summary) addInstance(class int, ir instanceResult) {
 	c.EnergyReduction.Add(ir.energyRed)
 	c.MeanWaitSec.Add(ir.meanWaitSec)
 	c.LossRate.Add(ir.lossRate)
-	s.Waits = append(s.Waits, ir.meanWaitSec)
+	s.WaitSketch.Add(ir.meanWaitSec)
+	if s.Waits != nil {
+		s.Waits = append(s.Waits, ir.meanWaitSec)
+	}
 }
 
 // Merge folds another summary (same spec shape) into s; fleet totals
@@ -144,13 +161,27 @@ func (s *Summary) Merge(o *Summary) {
 	for i := range o.Classes {
 		s.Classes[i].merge(&o.Classes[i])
 	}
-	s.Waits = append(s.Waits, o.Waits...)
+	switch {
+	case o.WaitSketch == nil:
+	case s.WaitSketch == nil:
+		s.WaitSketch = o.WaitSketch.Clone()
+	default:
+		s.WaitSketch.Merge(o.WaitSketch)
+	}
+	if o.Waits != nil {
+		s.Waits = append(s.Waits, o.Waits...)
+	}
 }
 
 // WaitQuantile returns the q-quantile of per-instance mean waits in
-// seconds (exact order statistic over every instance).
+// seconds: the exact order statistic when the run kept the per-instance
+// vector (QuantilesExact), otherwise the sketch estimate, within
+// relative error WaitSketchAccuracy of the exact value.
 func (s *Summary) WaitQuantile(q float64) (float64, error) {
-	return stats.Quantile(s.Waits, q)
+	if s.Waits != nil {
+		return stats.Quantile(s.Waits, q)
+	}
+	return s.WaitSketch.Quantile(q)
 }
 
 // LossOverall returns the fleet-total loss fraction (lost/arrived over

@@ -117,6 +117,11 @@ func (p *AlwaysOn) Name() string { return "always-on" }
 // Decide always returns the service state.
 func (p *AlwaysOn) Decide(slotsim.Observation) device.StateID { return p.wake }
 
+// Reset restores the freshly-constructed state (a no-op: AlwaysOn is
+// stateless). Every classical policy carries a Reset so one instance can
+// be reused across independent replicas without reconstruction.
+func (p *AlwaysOn) Reset() {}
+
 // ---------------------------------------------------------------------------
 
 // GreedyOff sleeps the moment the queue is empty and wakes the moment it
@@ -145,6 +150,10 @@ func (p *GreedyOff) Decide(obs slotsim.Observation) device.StateID {
 	}
 	return p.r.deep
 }
+
+// Reset restores the freshly-constructed state (a no-op: GreedyOff is
+// stateless).
+func (p *GreedyOff) Reset() {}
 
 // ---------------------------------------------------------------------------
 
@@ -187,6 +196,10 @@ func (p *FixedTimeout) Decide(obs slotsim.Observation) device.StateID {
 	return obs.Phase
 }
 
+// Reset restores the freshly-constructed state (a no-op: FixedTimeout
+// is stateless — the idle counter lives in the observation).
+func (p *FixedTimeout) Reset() {}
+
 // ---------------------------------------------------------------------------
 
 // AdaptiveTimeout adjusts a FixedTimeout online: a premature shutdown
@@ -195,6 +208,7 @@ func (p *FixedTimeout) Decide(obs slotsim.Observation) device.StateID {
 type AdaptiveTimeout struct {
 	r        roles
 	timeout  int64
+	initial  int64
 	min, max int64
 
 	breakEvenSlots int64
@@ -221,9 +235,16 @@ func NewAdaptiveTimeout(dev *device.Slotted, initial, min, max int64) (*Adaptive
 		be = 1
 	}
 	return &AdaptiveTimeout{
-		r: r, timeout: initial, min: min, max: max,
+		r: r, timeout: initial, initial: initial, min: min, max: max,
 		breakEvenSlots: be, sleepStart: -1,
 	}, nil
+}
+
+// Reset restores the freshly-constructed state: the timeout returns to
+// its initial value and any in-progress sleep judgement is discarded.
+func (p *AdaptiveTimeout) Reset() {
+	p.timeout = p.initial
+	p.sleepStart = -1
 }
 
 // Name identifies the policy.
@@ -305,6 +326,13 @@ func NewPredictive(dev *device.Slotted, alpha float64) (*Predictive, error) {
 	return &Predictive{r: r, alpha: alpha, breakEvenSlots: be, idleStart: -1, predicted: be}, nil
 }
 
+// Reset restores the freshly-constructed state: the prediction returns
+// to the break-even prior and the idle-period tracker clears.
+func (p *Predictive) Reset() {
+	p.predicted = p.breakEvenSlots
+	p.idleStart = -1
+}
+
 // Name identifies the policy.
 func (p *Predictive) Name() string { return "predictive" }
 
@@ -373,6 +401,10 @@ func NewOptimalFromModel(d *mdp.DPM) (*Optimal, error) {
 
 // Name identifies the policy.
 func (p *Optimal) Name() string { return "optimal" }
+
+// Reset restores the freshly-constructed state (a no-op: the solved
+// policy is immutable).
+func (p *Optimal) Reset() {}
 
 // Decide looks the commanded state up in the solved policy.
 func (p *Optimal) Decide(obs slotsim.Observation) device.StateID {

@@ -405,3 +405,68 @@ func TestOptimalSimMatchesGainOnWLAN(t *testing.T) {
 		t.Errorf("WLAN simulated optimal cost %v vs RVI gain %v — model/simulator divergence", got, res.Gain)
 	}
 }
+
+// TestResetRestoresAdaptiveState: after adaptation, Reset returns the
+// stateful policies to their freshly-constructed behavior (the reuse
+// contract fleet instances rely on); the stateless policies' Resets are
+// exercised as no-ops. A reset policy replays a replica bit-identically
+// to a fresh one.
+func TestResetRestoresAdaptiveState(t *testing.T) {
+	dev := synthDev(t)
+
+	at, err := NewAdaptiveTimeout(dev, 2, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPolicy(t, dev, at, 0.25, 20000, 7) // drives the timeout up
+	if at.Timeout() <= 2 {
+		t.Fatal("precondition: adaptation did not move the timeout")
+	}
+	at.Reset()
+	if at.Timeout() != 2 {
+		t.Errorf("reset timeout %d, want initial 2", at.Timeout())
+	}
+	fresh, err := NewAdaptiveTimeout(dev, 2, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, mb := runPolicy(t, dev, at, 0.25, 20000, 9), runPolicy(t, dev, fresh, 0.25, 20000, 9)
+	if ma.EnergyJ != mb.EnergyJ || ma.Served != mb.Served || at.Timeout() != fresh.Timeout() {
+		t.Errorf("reset adaptive-timeout replay diverges from fresh")
+	}
+
+	pr, err := NewPredictive(dev, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPolicy(t, dev, pr, 0.002, 40000, 8)
+	pr.Reset()
+	freshPr, err := NewPredictive(dev, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := runPolicy(t, dev, pr, 0.02, 20000, 11), runPolicy(t, dev, freshPr, 0.02, 20000, 11)
+	if pa.EnergyJ != pb.EnergyJ || pa.Served != pb.Served {
+		t.Errorf("reset predictive replay diverges from fresh")
+	}
+
+	// Stateless Resets are no-ops but part of the shared contract.
+	ao, err := NewAlwaysOn(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ao.Reset()
+	go_, err := NewGreedyOff(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go_.Reset()
+	ft, err := NewFixedTimeout(dev, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.Reset()
+	if ao.Name() != "always-on" || go_.Name() != "greedy-off" || ft.TimeoutSlots != 4 {
+		t.Error("stateless reset mutated policy identity")
+	}
+}

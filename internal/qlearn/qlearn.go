@@ -99,7 +99,13 @@ func (e EpsGreedy) Epsilon(t int64) float64 {
 
 // Select implements Explorer.
 func (e EpsGreedy) Select(qvals []float64, step int64, stream *rng.Stream) (int, bool) {
-	if stream.Float64() < e.Epsilon(step) {
+	return selectEps(qvals, e.Epsilon(step), stream)
+}
+
+// selectEps is the ε-greedy choice at a resolved exploration rate — the
+// shared kernel of EpsGreedy and its memoized wrapper.
+func selectEps(qvals []float64, eps float64, stream *rng.Stream) (int, bool) {
+	if stream.Float64() < eps {
 		return stream.Intn(len(qvals)), true
 	}
 	return argmax(qvals, stream), false
@@ -108,6 +114,44 @@ func (e EpsGreedy) Select(qvals []float64, step int64, stream *rng.Stream) (int,
 func (e EpsGreedy) String() string {
 	return fmt.Sprintf("eps-greedy(ε=%g,min=%g,τ=%g)", e.Eps, e.MinEps, e.DecayTau)
 }
+
+// epsMemo wraps a decaying EpsGreedy with a step-indexed memo of ε(t).
+// Epsilon is a pure function of the step, so the memo is value-exact; it
+// replaces the per-decision math.Exp of the decay schedule with a table
+// load for the first epsMemoSize steps (short-episode workloads — fleet
+// instances above all — never leave the table). NewAgent installs it
+// transparently.
+type epsMemo struct {
+	e    EpsGreedy
+	memo []float64
+}
+
+const epsMemoSize = 4096
+
+func newEpsMemo(e EpsGreedy) *epsMemo {
+	m := &epsMemo{e: e, memo: make([]float64, epsMemoSize)}
+	for i := range m.memo {
+		m.memo[i] = -1 // ε values are >= 0; -1 = unfilled
+	}
+	return m
+}
+
+// Select implements Explorer with the memoized rate.
+func (m *epsMemo) Select(qvals []float64, step int64, stream *rng.Stream) (int, bool) {
+	eps := -1.0
+	if step < epsMemoSize {
+		eps = m.memo[step]
+	}
+	if eps < 0 {
+		eps = m.e.Epsilon(step)
+		if step < epsMemoSize {
+			m.memo[step] = eps
+		}
+	}
+	return selectEps(qvals, eps, stream)
+}
+
+func (m *epsMemo) String() string { return m.e.String() }
 
 // Boltzmann samples actions with probability ∝ exp(Q/T), T decaying like
 // EpsGreedy's ε.
@@ -266,6 +310,31 @@ type Agent struct {
 	// selection runs per simulated slot, so this buffer keeps the
 	// decision hot path allocation-free.
 	scratch []float64
+
+	// alphaMemo caches Alpha(n) for small visit counts. Schedules are
+	// pure functions of n, so the memo is value-exact; it turns the
+	// per-update math.Pow of the Polynomial schedule into a table load.
+	// Allocated once at construction (fixed size), so the update hot
+	// path stays allocation-free.
+	alphaMemo []float64
+}
+
+// alphaMemoSize bounds the memo: visit counts beyond it (rare pairs in
+// very long runs) fall back to the schedule. Index 0 is unused (visit
+// counts start at 1).
+const alphaMemoSize = 4096
+
+// alpha returns the learning rate for visit n, memoized.
+func (a *Agent) alpha(n int64) float64 {
+	if n < alphaMemoSize {
+		if v := a.alphaMemo[n]; v >= 0 {
+			return v
+		}
+		v := a.cfg.Alpha.Alpha(n)
+		a.alphaMemo[n] = v
+		return v
+	}
+	return a.cfg.Alpha.Alpha(n)
 }
 
 // NewAgent validates the configuration and returns a zeroed agent.
@@ -291,8 +360,18 @@ func NewAgent(cfg Config) (*Agent, error) {
 	if cfg.TraceCutoff == 0 {
 		cfg.TraceCutoff = 1e-4
 	}
+	// A decaying ε-greedy explorer pays one math.Exp per decision;
+	// memoize it by step (value-exact — ε is a pure function of the
+	// step). Constant-ε explorers (DecayTau <= 0) need no memo.
+	if eg, ok := cfg.Explore.(EpsGreedy); ok && eg.DecayTau > 0 {
+		cfg.Explore = newEpsMemo(eg)
+	}
 	n := cfg.NumStates * cfg.NumActions
-	a := &Agent{cfg: cfg, q: make([]float64, n), visits: make([]int64, n)}
+	a := &Agent{cfg: cfg, q: make([]float64, n), visits: make([]int64, n),
+		alphaMemo: make([]float64, alphaMemoSize)}
+	for i := range a.alphaMemo {
+		a.alphaMemo[i] = -1 // schedules yield rates in (0,1]; -1 = unfilled
+	}
 	for i := range a.q {
 		a.q[i] = cfg.InitQ
 	}
@@ -306,6 +385,31 @@ func NewAgent(cfg Config) (*Agent, error) {
 		a.traces = make(map[int32]float64)
 	}
 	return a, nil
+}
+
+// Reset restores the agent to its freshly-constructed state — tables at
+// InitQ, visit/step/update counters zeroed, traces cleared — reusing
+// every buffer. A Reset agent is behaviorally bit-identical to
+// NewAgent(cfg); callers that cycle one agent through many independent
+// episodes (one fleet instance per episode) use it to keep learner
+// turnover off the allocator.
+func (a *Agent) Reset() {
+	for i := range a.q {
+		a.q[i] = a.cfg.InitQ
+	}
+	if a.q2 != nil {
+		for i := range a.q2 {
+			a.q2[i] = a.cfg.InitQ
+		}
+	}
+	for i := range a.visits {
+		a.visits[i] = 0
+	}
+	a.step = 0
+	a.updates = 0
+	if a.traces != nil {
+		clear(a.traces)
+	}
 }
 
 func (a *Agent) idx(s, act int) int { return s*a.cfg.NumActions + act }
@@ -403,10 +507,15 @@ func (a *Agent) Update(s, act int, reward float64, next int, legalNext []int, el
 	if elapsed < 1 {
 		elapsed = 1
 	}
-	g := math.Pow(a.cfg.Gamma, float64(elapsed))
+	// One-slot transitions dominate every workload; Pow(γ, 1) is exactly
+	// γ, so the fast path is value-identical and skips the pow.
+	g := a.cfg.Gamma
+	if elapsed > 1 {
+		g = math.Pow(a.cfg.Gamma, float64(elapsed))
+	}
 	i := a.idx(s, act)
 	a.visits[i]++
-	alpha := a.cfg.Alpha.Alpha(a.visits[i])
+	alpha := a.alpha(a.visits[i])
 	a.updates++
 
 	switch a.cfg.Rule {
@@ -454,10 +563,13 @@ func (a *Agent) UpdateSARSA(s, act int, reward float64, next, nextAct int, elaps
 	if elapsed < 1 {
 		elapsed = 1
 	}
-	g := math.Pow(a.cfg.Gamma, float64(elapsed))
+	g := a.cfg.Gamma
+	if elapsed > 1 {
+		g = math.Pow(a.cfg.Gamma, float64(elapsed))
+	}
 	i := a.idx(s, act)
 	a.visits[i]++
-	alpha := a.cfg.Alpha.Alpha(a.visits[i])
+	alpha := a.alpha(a.visits[i])
 	a.updates++
 	target := reward + g*a.Q(next, nextAct)
 	a.q[i] += alpha * (target - a.q[i])

@@ -411,3 +411,59 @@ func BenchmarkQStep(b *testing.B) {
 		agent.Update(st, act, -0.5, (st+1)%99, legal, 1, s)
 	}
 }
+
+// TestResetBitIdenticalToFresh: after a learning episode, Reset restores
+// the agent so a second episode replays bit-identically to a fresh
+// agent's first — and allocates nothing.
+func TestResetBitIdenticalToFresh(t *testing.T) {
+	for _, cfg := range []Config{
+		{NumStates: 4, NumActions: 3, Gamma: 0.9, Alpha: Constant{C: 0.1},
+			Explore: EpsGreedy{Eps: 0.2}, InitQ: 0.5},
+		{NumStates: 4, NumActions: 3, Gamma: 0.9, Alpha: Constant{C: 0.1},
+			Explore: EpsGreedy{Eps: 0.2}, Rule: DoubleQ},
+		{NumStates: 4, NumActions: 3, Gamma: 0.9, Alpha: Constant{C: 0.1},
+			Explore: EpsGreedy{Eps: 0.2}, TraceLambda: 0.5},
+	} {
+		reused, err := NewAgent(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legal := []int{0, 1, 2}
+		episode := func(a *Agent, seed uint64) {
+			stream := rng.New(seed)
+			s := 0
+			for i := 0; i < 2000; i++ {
+				act, _ := a.SelectAction(s, legal, stream)
+				next := (s + act + 1) % cfg.NumStates
+				a.Update(s, act, -float64(act), next, legal, 1+i%3, stream)
+				s = next
+			}
+		}
+		episode(reused, 7) // dirty every counter and table cell
+		allocs := testing.AllocsPerRun(1, func() { reused.Reset() })
+		if allocs != 0 {
+			t.Fatalf("rule %v: Reset allocates %.1f times", cfg.Rule, allocs)
+		}
+		episode(reused, 11)
+		fresh, err := NewAgent(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		episode(fresh, 11)
+		for s := 0; s < cfg.NumStates; s++ {
+			for act := 0; act < cfg.NumActions; act++ {
+				if reused.Q(s, act) != fresh.Q(s, act) {
+					t.Fatalf("rule %v: reset agent Q(%d,%d)=%v != fresh %v",
+						cfg.Rule, s, act, reused.Q(s, act), fresh.Q(s, act))
+				}
+				if reused.Visits(s, act) != fresh.Visits(s, act) {
+					t.Fatalf("rule %v: visit counters diverge at (%d,%d)", cfg.Rule, s, act)
+				}
+			}
+		}
+		if reused.Step() != fresh.Step() || reused.Updates() != fresh.Updates() {
+			t.Fatalf("rule %v: counters diverge: step %d/%d updates %d/%d",
+				cfg.Rule, reused.Step(), fresh.Step(), reused.Updates(), fresh.Updates())
+		}
+	}
+}

@@ -47,6 +47,19 @@ func New(seed uint64) *Stream {
 // (seed, sel) pair fully determines the output sequence.
 func NewWithStream(seed, sel uint64) *Stream {
 	s := &Stream{}
+	s.ReseedWithStream(seed, sel)
+	return s
+}
+
+// Reseed reinitializes s in place so that it produces exactly the
+// sequence New(seed) would, without allocating. It is the reuse path of
+// New: callers that cycle through many seeds (one fleet instance per
+// seed) hold one Stream value and reseed it per instance.
+func (s *Stream) Reseed(seed uint64) { s.ReseedWithStream(seed, 0) }
+
+// ReseedWithStream is Reseed onto sub-stream sel; it is the in-place
+// equivalent of NewWithStream(seed, sel).
+func (s *Stream) ReseedWithStream(seed, sel uint64) {
 	// Derive the increment from the selector; the low word must be odd.
 	s.incHi = splitmix(&sel)
 	s.incLo = splitmix(&sel) | 1
@@ -57,7 +70,6 @@ func NewWithStream(seed, sel uint64) *Stream {
 	h := splitmix(&seed)
 	s.hi += h
 	s.step()
-	return s
 }
 
 // splitmix is SplitMix64; used only for seeding and splitting.
@@ -95,9 +107,19 @@ func (s *Stream) Uint64() uint64 {
 // Split derives an independent child stream. The parent advances by one
 // draw; the child's sequence shares no state with the parent afterwards.
 func (s *Stream) Split() *Stream {
+	child := &Stream{}
+	s.SplitInto(child)
+	return child
+}
+
+// SplitInto derives an independent child stream into dst without
+// allocating: dst produces exactly the sequence Split's return value
+// would, and the parent advances identically. dst may be any Stream
+// value (its prior state is overwritten); it must not alias s.
+func (s *Stream) SplitInto(dst *Stream) {
 	seed := s.Uint64()
 	sel := s.Uint64()
-	return NewWithStream(seed, sel)
+	dst.ReseedWithStream(seed, sel)
 }
 
 // Float64 returns a uniform value in [0, 1) with 53 random bits.

@@ -328,3 +328,65 @@ func BenchmarkFloat64(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestReseedMatchesNew: a reseeded stream is bit-identical to a fresh
+// New/NewWithStream stream — the in-place reuse contract the fleet
+// instance lifecycle depends on.
+func TestReseedMatchesNew(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100; i++ {
+		s.Uint64() // scramble the state
+	}
+	for _, seed := range []uint64{0, 1, 42, 1 << 63} {
+		s.Reseed(seed)
+		fresh := New(seed)
+		for i := 0; i < 64; i++ {
+			if got, want := s.Uint64(), fresh.Uint64(); got != want {
+				t.Fatalf("seed %d draw %d: reseeded %d != fresh %d", seed, i, got, want)
+			}
+		}
+		s.ReseedWithStream(seed, 7)
+		freshSel := NewWithStream(seed, 7)
+		if s.Uint64() != freshSel.Uint64() {
+			t.Fatalf("ReseedWithStream(%d, 7) diverges from NewWithStream", seed)
+		}
+	}
+}
+
+// TestSplitIntoMatchesSplit: SplitInto writes the same child Split would
+// return and advances the parent identically.
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	a, b := New(9), New(9)
+	var child Stream
+	child.Reseed(999) // pre-dirty the destination
+	a.SplitInto(&child)
+	ref := b.Split()
+	for i := 0; i < 64; i++ {
+		if child.Uint64() != ref.Uint64() {
+			t.Fatalf("SplitInto child diverges from Split at draw %d", i)
+		}
+	}
+	// Parents advanced identically.
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("parents diverge after split at draw %d", i)
+		}
+	}
+}
+
+// TestReseedSplitIntoAllocationFree: the reuse path performs no heap
+// allocations — it is the per-instance seed derivation of the fleet
+// layer's zero-allocation lifecycle.
+func TestReseedSplitIntoAllocationFree(t *testing.T) {
+	var root, pol, sim Stream
+	seed := uint64(1)
+	allocs := testing.AllocsPerRun(100, func() {
+		root.Reseed(seed)
+		root.SplitInto(&pol)
+		root.SplitInto(&sim)
+		seed++
+	})
+	if allocs != 0 {
+		t.Fatalf("Reseed+SplitInto allocates %.1f times per instance", allocs)
+	}
+}

@@ -221,6 +221,26 @@ func (h *Histogram) Add(x float64) {
 	}
 }
 
+// Merge folds another histogram with the identical binning (same range,
+// same bin count) into h; bin, underflow, and overflow counters add.
+// Integer addition makes the merge exact: any merge-tree shape over the
+// same observations yields bit-identical counts (the same property the
+// fleet quantile sketch's Merge builds on). o is not modified.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if h.low != o.low || h.high != o.high || len(h.bins) != len(o.bins) {
+		return fmt.Errorf("stats: merging histograms with different binning: [%v,%v)/%d vs [%v,%v)/%d",
+			h.low, h.high, len(h.bins), o.low, o.high, len(o.bins))
+	}
+	mergeCounts(h.bins, o.bins)
+	h.under += o.under
+	h.over += o.over
+	h.total += o.total
+	return nil
+}
+
 // Counts returns a copy of the in-range bin counts.
 func (h *Histogram) Counts() []int64 { return append([]int64(nil), h.bins...) }
 
