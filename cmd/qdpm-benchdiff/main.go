@@ -26,6 +26,28 @@
 //     budget. Non-zero baselines fail beyond (1 + alloc-tol), default
 //     0.10, since alloc counts are near-deterministic.
 //
+// Ratio gates. Beyond per-benchmark comparisons, a baseline may carry a
+// top-level "ratio_gates" array pinning relations BETWEEN benchmarks of
+// the same run — the shape of a scaling curve rather than any absolute
+// figure:
+//
+//	"ratio_gates": [{
+//	  "metric": "ns_per_event",
+//	  "num": "BenchmarkFleet1MCT", "den": "BenchmarkFleet10kCT",
+//	  "max": 1.15,
+//	  "note": "per-event cost must stay flat from 10k to 1M devices"
+//	}]
+//
+// The gate fails when metric(num)/metric(den) > max in the current run.
+// Metrics name recorded keys: ns_per_op, allocs_per_op, bytes_per_op, or
+// any custom metric key (ns_per_event). Ratios compare two measurements
+// from the same host and run, so they hold a tight tolerance where
+// absolute ns/op gates must absorb cross-host noise. A gate whose
+// endpoints did not run is skipped (partial invocations stay supported)
+// unless -strict, which fails it like an unran pinned benchmark.
+// -update preserves ratio_gates untouched (it only rewrites the
+// benchmarks map).
+//
 // -update flips the tool from gate to recorder: instead of comparing, it
 // rewrites the baseline's benchmarks map from the bench run (ns/op,
 // B/op, allocs/op, and custom metrics like ns/event), preserving every
@@ -61,9 +83,32 @@ type baselineEntry struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
+// ratioGate pins a relation between two benchmarks of the same run:
+// Metric(Num)/Metric(Den) must not exceed Max. See the package comment.
+type ratioGate struct {
+	Metric string  `json:"metric"`
+	Num    string  `json:"num"`
+	Den    string  `json:"den"`
+	Max    float64 `json:"max"`
+	Note   string  `json:"note"`
+}
+
+// validate rejects a malformed gate entry (a baseline-authoring error,
+// not a measurement failure).
+func (g *ratioGate) validate(i int) error {
+	if g.Metric == "" || g.Num == "" || g.Den == "" {
+		return fmt.Errorf("ratio_gates[%d] needs metric, num, and den", i)
+	}
+	if !(g.Max > 0) {
+		return fmt.Errorf("ratio_gates[%d] (%s/%s) max %v must be positive", i, g.Num, g.Den, g.Max)
+	}
+	return nil
+}
+
 // baselineFile is the BENCH_*.json schema subset the gate reads.
 type baselineFile struct {
 	Benchmarks map[string]baselineEntry `json:"benchmarks"`
+	RatioGates []ratioGate              `json:"ratio_gates"`
 }
 
 // result is one parsed benchmark run.
@@ -154,6 +199,67 @@ func parseBench(r io.Reader, module string) ([]result, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// metric returns the named figure from a parsed result, using the same
+// keys the BENCH files record (ns_per_op, allocs_per_op, bytes_per_op,
+// or a custom metric key like ns_per_event). ok is false when the run
+// did not carry that figure.
+func (r *result) metric(key string) (v float64, ok bool) {
+	switch key {
+	case "ns_per_op":
+		return r.NsPerOp, true
+	case "allocs_per_op":
+		return r.AllocsPerOp, r.AllocsPerOp >= 0
+	case "bytes_per_op":
+		return r.BytesPerOp, r.BytesPerOp >= 0
+	default:
+		v, ok = r.Extra[key]
+		return v, ok
+	}
+}
+
+// checkRatioGates evaluates the baseline's cross-benchmark ratio gates
+// against the run and returns (failed, skipped) counts. Gates whose
+// endpoints did not run (or ran without the pinned metric) are skipped
+// and reported; strict mode turns skips into failures at the caller.
+func checkRatioGates(gates []ratioGate, byKey map[string]*result, stdout io.Writer) (failed, skipped int, err error) {
+	for i := range gates {
+		g := &gates[i]
+		if err := g.validate(i); err != nil {
+			return 0, 0, err
+		}
+		num, den := byKey[g.Num], byKey[g.Den]
+		var nv, dv float64
+		var nok, dok bool
+		if num != nil {
+			nv, nok = num.metric(g.Metric)
+		}
+		if den != nil {
+			dv, dok = den.metric(g.Metric)
+		}
+		switch {
+		case !nok || !dok:
+			skipped++
+			fmt.Fprintf(stdout, "SKIP ratio %s(%s)/%s(%s): endpoint did not run or lacks the metric\n",
+				g.Metric, g.Num, g.Metric, g.Den)
+		case dv == 0:
+			skipped++
+			fmt.Fprintf(stdout, "SKIP ratio %s(%s)/%s(%s): denominator is zero\n",
+				g.Metric, g.Num, g.Metric, g.Den)
+		case nv/dv > g.Max:
+			failed++
+			fmt.Fprintf(stdout, "FAIL ratio %s(%s)/%s(%s) = %.4g/%.4g = %.3f exceeds max %.3f\n",
+				g.Metric, g.Num, g.Metric, g.Den, nv, dv, nv/dv, g.Max)
+			if g.Note != "" {
+				fmt.Fprintf(stdout, "     (%s)\n", g.Note)
+			}
+		default:
+			fmt.Fprintf(stdout, "ok   ratio %s(%s)/%s(%s) = %.3f (max %.3f)\n",
+				g.Metric, g.Num, g.Metric, g.Den, nv/dv, g.Max)
+		}
+	}
+	return failed, skipped, nil
 }
 
 // compare applies the gate rules and returns the failure reasons (none
@@ -291,15 +397,15 @@ func run(stdin io.Reader, stdout io.Writer, args []string) error {
 	}
 
 	failed, missing := 0, 0
-	ran := make(map[string]bool, len(results))
-	for _, res := range results {
-		ran[res.Key] = true
+	byKey := make(map[string]*result, len(results))
+	for i := range results {
+		byKey[results[i].Key] = &results[i]
 	}
 	unran := 0
 	if *strict {
 		keys := make([]string, 0, len(base.Benchmarks))
 		for k := range base.Benchmarks {
-			if !ran[k] {
+			if byKey[k] == nil {
 				keys = append(keys, k)
 			}
 		}
@@ -333,16 +439,26 @@ func run(stdin io.Reader, stdout io.Writer, args []string) error {
 			fmt.Fprintf(stdout, "ok   %-48s %12.4g ns/op  (%+.1f%% vs baseline)\n", res.Key, res.NsPerOp, delta)
 		}
 	}
+	ratioFailed, ratioSkipped, err := checkRatioGates(base.RatioGates, byKey, stdout)
+	if err != nil {
+		return fmt.Errorf("%s: %w", *baselinePath, err)
+	}
 	fmt.Fprintf(stdout, "%d benchmarks: %d compared, %d missing from baseline, %d failed\n",
 		len(results), len(results)-missing, missing, failed)
 	if failed > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed beyond tolerance", failed)
+	}
+	if ratioFailed > 0 {
+		return fmt.Errorf("%d ratio gate(s) exceeded", ratioFailed)
 	}
 	if *strict && missing > 0 {
 		return fmt.Errorf("%d benchmark(s) missing from baseline (strict mode)", missing)
 	}
 	if *strict && unran > 0 {
 		return fmt.Errorf("%d baseline benchmark(s) produced no result (strict mode)", unran)
+	}
+	if *strict && ratioSkipped > 0 {
+		return fmt.Errorf("%d ratio gate(s) could not be evaluated (strict mode)", ratioSkipped)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -179,6 +180,102 @@ BenchmarkScheduleAndFire-4   	85702724	        12.74 ns/op	       0 B/op	       
 	malformed := writeBaseline(t, `{"benchmarks"`)
 	if err := run(strings.NewReader(sampleBench), &out, []string{"-baseline", malformed}); err == nil {
 		t.Fatal("malformed baseline accepted")
+	}
+}
+
+// TestRatioGates: cross-benchmark ratio gates pass within max, fail
+// beyond it, skip (non-strict) or fail (strict) when an endpoint did not
+// run, and reject malformed gate entries.
+func TestRatioGates(t *testing.T) {
+	// Two fleet scales with ns/event custom metrics: 100.0 at 10k and
+	// 110.0 at 1M — a 1.10 scaling ratio.
+	bench := `pkg: repro
+BenchmarkFleet10kCT 	       3	 337021045 ns/op	     29673 devices/s	   3391334 events/op	       100.0 ns/event	  695716 B/op	     558 allocs/op
+BenchmarkFleet1MCT 	       1	 11021045000 ns/op	     27012 devices/s	 100335995 events/op	       110.0 ns/event	  895716 B/op	     958 allocs/op
+`
+	baseBench := `"benchmarks": {
+		"BenchmarkFleet10kCT": {"ns_per_op": 337021045, "allocs_per_op": 558},
+		"BenchmarkFleet1MCT": {"ns_per_op": 11021045000, "allocs_per_op": 958}}`
+	gate := func(max float64) string {
+		return `{` + baseBench + `,
+		"ratio_gates": [{"metric": "ns_per_event",
+			"num": "BenchmarkFleet1MCT", "den": "BenchmarkFleet10kCT",
+			"max": ` + strconv.FormatFloat(max, 'g', -1, 64) + `,
+			"note": "per-event cost must stay flat with fleet scale"}]}`
+	}
+
+	// 1.10 measured ratio under a 1.15 cap: passes and reports.
+	base := writeBaseline(t, gate(1.15))
+	var out bytes.Buffer
+	if err := run(strings.NewReader(bench), &out, []string{"-baseline", base}); err != nil {
+		t.Fatalf("1.10 ratio failed a 1.15 gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok   ratio ns_per_event(BenchmarkFleet1MCT)") {
+		t.Fatalf("passing ratio not reported:\n%s", out.String())
+	}
+
+	// Same run under a 1.05 cap: fails with the note.
+	base = writeBaseline(t, gate(1.05))
+	out.Reset()
+	if err := run(strings.NewReader(bench), &out, []string{"-baseline", base}); err == nil {
+		t.Fatalf("1.10 ratio passed a 1.05 gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL ratio") || !strings.Contains(out.String(), "stay flat") {
+		t.Fatalf("ratio failure not reported with note:\n%s", out.String())
+	}
+
+	// An endpoint missing from the run: skipped non-strict, fails strict.
+	partial := `pkg: repro
+BenchmarkFleet10kCT 	       3	 337021045 ns/op	     100.0 ns/event	  695716 B/op	     558 allocs/op
+`
+	partialBase := writeBaseline(t, `{"benchmarks": {
+		"BenchmarkFleet10kCT": {"ns_per_op": 337021045, "allocs_per_op": 558}},
+		"ratio_gates": [{"metric": "ns_per_event",
+			"num": "BenchmarkFleet1MCT", "den": "BenchmarkFleet10kCT", "max": 1.15}]}`)
+	out.Reset()
+	if err := run(strings.NewReader(partial), &out, []string{"-baseline", partialBase}); err != nil {
+		t.Fatalf("non-strict run failed on a skipped ratio gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "SKIP ratio") {
+		t.Fatalf("skipped ratio not reported:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run(strings.NewReader(partial), &out, []string{"-baseline", partialBase, "-strict"}); err == nil {
+		t.Fatalf("strict run passed with an unevaluated ratio gate:\n%s", out.String())
+	}
+
+	// Malformed gate entries error out (authoring mistakes, not skips).
+	for _, bad := range []string{
+		`[{"metric": "", "num": "A", "den": "B", "max": 1}]`,
+		`[{"metric": "ns_per_op", "num": "A", "den": "B", "max": 0}]`,
+	} {
+		badBase := writeBaseline(t, `{`+baseBench+`, "ratio_gates": `+bad+`}`)
+		out.Reset()
+		if err := run(strings.NewReader(bench), &out, []string{"-baseline", badBase}); err == nil {
+			t.Fatalf("malformed ratio gate %s accepted", bad)
+		}
+	}
+
+	// -update preserves ratio_gates verbatim, and the updated file still
+	// enforces them.
+	base = writeBaseline(t, gate(1.15))
+	out.Reset()
+	if err := run(strings.NewReader(bench), &out, []string{"-baseline", base, "-update"}); err != nil {
+		t.Fatalf("update failed: %v", err)
+	}
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "ratio_gates") || !strings.Contains(string(raw), "stay flat") {
+		t.Fatalf("ratio_gates not preserved by -update:\n%s", raw)
+	}
+	out.Reset()
+	if err := run(strings.NewReader(bench), &out, []string{"-baseline", base, "-strict"}); err != nil {
+		t.Fatalf("updated baseline fails its own run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok   ratio") {
+		t.Fatalf("ratio gate not evaluated after update:\n%s", out.String())
 	}
 }
 

@@ -18,6 +18,11 @@
 // -quantiles exact opts small fleets into exact order statistics.
 // Output on stdout is bit-identical for every -parallel value (CI diffs
 // serial against pooled); wall-clock throughput goes to stderr.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run on exit
+// (the heap profile is taken after the fleet completes). Profiling never
+// touches stdout, so a profiled run's report stays bit-identical to an
+// unprofiled one.
 package main
 
 import (
@@ -29,6 +34,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/engine"
@@ -61,6 +68,8 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		asJSON   = fs.Bool("json", false, "emit a JSON report instead of the table")
 		quant    = fs.String("quantiles", "sketch", "wait percentiles: sketch (mergeable log-binned, 1% relative error, memory independent of -devices) or exact (order statistics, O(devices) memory)")
 		progress = fs.Bool("progress", false, "print periodic devices/s progress to stderr (for long million-device runs)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -78,6 +87,34 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 	}
 	if *replicas < 1 {
 		return fmt.Errorf("replicas %d must be >= 1", *replicas)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		// Registered up front so the heap snapshot lands even on error
+		// exits; taken after the run, when the steady-state footprint
+		// (pooled worker scratch, shard-summary window) is what's live.
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qdpm-fleet: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "qdpm-fleet: memprofile: %v\n", err)
+			}
+		}()
 	}
 	sc := experiment.FleetScenario{
 		Name: "fleet",

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -133,6 +135,42 @@ func TestRunQuantileModes(t *testing.T) {
 
 // TestRunProgressFlag: -progress must not perturb stdout (the CI-diffed
 // surface) and the run still succeeds.
+// TestRunProfileFlags: -cpuprofile and -memprofile write non-empty
+// pprof files on exit without touching stdout (the profiled run's
+// report is bit-identical to an unprofiled one).
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb")
+	mem := filepath.Join(dir, "mem.pb")
+	base := []string{"-devices", "50", "-horizon", "20", "-seed", "3"}
+	var plain, profiled bytes.Buffer
+	if err := run(context.Background(), &plain, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), &profiled,
+		append(base, "-cpuprofile", cpu, "-memprofile", mem)); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != profiled.String() {
+		t.Fatal("profiling changed stdout")
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	// An unwritable profile path is a startup error, reported before any
+	// simulation work.
+	if err := run(context.Background(), &plain,
+		append(base, "-cpuprofile", filepath.Join(dir, "no/such/dir/cpu.pb"))); err == nil {
+		t.Fatal("unwritable -cpuprofile path accepted")
+	}
+}
+
 func TestRunProgressFlag(t *testing.T) {
 	base := []string{"-devices", "50", "-horizon", "20", "-seed", "3"}
 	var plain, progress bytes.Buffer

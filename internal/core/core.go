@@ -386,7 +386,7 @@ func (m *Manager) Decide(obs slotsim.Observation) device.StateID {
 
 // Observe implements slotsim.Learner: accumulate the per-slot payoff and
 // apply the Q-update at decision points.
-func (m *Manager) Observe(fb slotsim.Feedback) {
+func (m *Manager) Observe(fb *slotsim.Feedback) {
 	// Per-slot payoff: energy reduction minus latency penalty, normalized.
 	backlog := float64(fb.Next.Queue)
 	w := m.cfg.LatencyWeight + m.qosLambda
@@ -412,17 +412,20 @@ func (m *Manager) Observe(fb slotsim.Feedback) {
 
 	// Start or extend the pending semi-Markov experience.
 	if !m.hasPending {
-		m.pending = pendingExp{
-			action: fb.Action,
-			reward: reward,
-			gpow:   m.cfg.Gamma,
-			// elapsed counts slots covered by this experience.
-			elapsed: 1,
-		}
+		// Field-by-field: a composite literal would build a temporary
+		// pendingExp and block-copy it in.
+		p := &m.pending
+		p.action = fb.Action
+		p.reward = reward
+		p.gpow = m.cfg.Gamma
+		// elapsed counts slots covered by this experience.
+		p.elapsed = 1
 		if m.cfg.Fuzzy {
-			m.pending.states, m.pending.weights = m.fuzzyStates, m.fuzzyWeights
+			p.state = 0
+			p.states, p.weights = m.fuzzyStates, m.fuzzyWeights
 		} else {
-			m.pending.state = m.encode(fb.Prev.Phase, fb.Prev.Queue, fb.Prev.IdleSlots)
+			p.state = m.encode(fb.Prev.Phase, fb.Prev.Queue, fb.Prev.IdleSlots)
+			p.states, p.weights = nil, nil
 		}
 		m.hasPending = true
 	} else {

@@ -83,7 +83,14 @@ type Config struct {
 	ServiceTime float64
 }
 
-// Validate checks the configuration and fills defaults.
+// Validate checks the configuration and fills its defaults in place.
+// New and Reset call it implicitly; callers that reuse one Config value
+// across many instances (the fleet layer runs millions of Resets against
+// per-class configs that never change) validate once up front and take
+// the Sim.ResetValidated fast path thereafter.
+func (c *Config) Validate() error { return c.validate() }
+
+// validate checks the configuration and fills defaults.
 func (c *Config) validate() error {
 	if c.Device == nil {
 		return fmt.Errorf("ctsim: config needs a device")
@@ -273,6 +280,14 @@ type Sim struct {
 	lastArrival float64
 	lastAction  device.StateID
 
+	// Hard horizon (SetHorizonHint): the consumer's promise that no Run
+	// will extend past this time (enforced by Run). Arrivals and
+	// periodic ticks landing strictly beyond it skip the kernel insert,
+	// and the final tick skips feedback/decision work that cannot
+	// influence any pre-horizon observable. +Inf disables (the
+	// default); the promise survives ResetValidated.
+	hardHorizon float64
+
 	// Sequential service.
 	serving bool
 	serveEv eventq.Ref
@@ -289,13 +304,18 @@ type Sim struct {
 	epochSrv    int64
 	epochLost   int64
 
+	// fb is the per-interval feedback scratch, rewritten on every
+	// emitFeedback and passed to the learner by pointer (the Learner
+	// contract: receivers copy what they keep).
+	fb Feedback
+
 	metrics Metrics
 }
 
 // New validates cfg and returns a simulator with its initial events (the
 // first arrival and the first decision) scheduled at the kernel.
 func New(cfg Config) (*Sim, error) {
-	s := &Sim{k: eventq.New()}
+	s := &Sim{k: eventq.New(), hardHorizon: math.Inf(1)}
 	s.hArrival = s.onArrival
 	s.hTick = s.tick
 	s.hDecision = s.decisionPoint
@@ -314,12 +334,25 @@ func New(cfg Config) (*Sim, error) {
 // replicas back to back use it to keep replica turnover off the allocator.
 func (s *Sim) Reset(cfg Config) error { return s.init(cfg) }
 
+// ResetValidated is Reset minus the validation pass: cfg must already
+// have been checked and default-filled by (*Config).Validate. It exists
+// for callers that reset one simulator millions of times against a small
+// set of immutable per-class configs; passing a config that Validate
+// would reject leads to undefined simulation behavior.
+func (s *Sim) ResetValidated(cfg Config) error { return s.apply(cfg) }
+
 // init validates cfg and (re)sets every piece of run state, then schedules
 // the initial events.
 func (s *Sim) init(cfg Config) error {
 	if err := cfg.validate(); err != nil {
 		return err
 	}
+	return s.apply(cfg)
+}
+
+// apply (re)sets every piece of run state from a validated cfg, then
+// schedules the initial events.
+func (s *Sim) apply(cfg Config) error {
 	s.cfg = cfg
 	s.k.Reset()
 	if s.q == nil {
@@ -388,18 +421,45 @@ func (s *Sim) PendingEvents() int { return s.k.Len() }
 // FiredEvents returns the number of kernel events executed.
 func (s *Sim) FiredEvents() uint64 { return s.k.Fired() }
 
+// SetHorizonHint promises that no Run on this simulator will ever
+// extend past time h — Run rejects a larger limit, so the promise
+// cannot be broken silently. In exchange the scheduler drops arrivals
+// and periodic ticks landing strictly beyond h (events that could
+// never fire), and the final periodic tick skips its feedback,
+// decision, and epoch bookkeeping — none of which can influence any
+// observable at or before h. Arrival streams are consumed identically
+// either way (draws are per-source, see RenewalSource.SetLimit), so
+// metrics and output stay bit-identical; only the post-run internal
+// state of a Learner may differ, since the horizon-edge feedback it
+// could never act on is not delivered. The promise survives
+// ResetValidated — set it once on a simulator recycled across
+// bounded-horizon instances. +Inf restores the default.
+func (s *Sim) SetHorizonHint(h float64) {
+	if !(h > 0) {
+		h = math.Inf(1)
+	}
+	s.hardHorizon = h
+}
+
 // Run advances the simulation to the given time. It may be called
 // repeatedly with growing horizons; metrics accumulate.
 func (s *Sim) Run(until float64) error {
 	if until < s.k.Now() {
 		return fmt.Errorf("ctsim: horizon %v precedes current time %v", until, s.k.Now())
 	}
+	if until > s.hardHorizon {
+		return fmt.Errorf("ctsim: limit %v exceeds the promised horizon %v (SetHorizonHint)", until, s.hardHorizon)
+	}
 	return s.k.Run(until)
 }
 
 // RunChunked advances the simulation from the current clock to horizon
 // in chunks of chunk simulated seconds, polling ctx between chunks so
-// cancellation latency is bounded by one chunk. It is the shared
+// cancellation latency is bounded by one chunk. A run that fits in a
+// single chunk never polls: the caller dispatching many short instances
+// (the fleet shard loop) owns that poll, and keeping the per-instance
+// context check out of here is measurable at a million instances (a
+// canceled context's Err takes a mutex). It is the shared
 // replica-execution loop of the experiment and fleet layers; metrics
 // accumulate exactly as with Run.
 func (s *Sim) RunChunked(ctx context.Context, horizon, chunk float64) error {
@@ -407,9 +467,6 @@ func (s *Sim) RunChunked(ctx context.Context, horizon, chunk float64) error {
 		return fmt.Errorf("ctsim: chunk %v must be positive", chunk)
 	}
 	for until := s.k.Now() + chunk; ; until += chunk {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
 		if until > horizon {
 			until = horizon
 		}
@@ -418,6 +475,9 @@ func (s *Sim) RunChunked(ctx context.Context, horizon, chunk float64) error {
 		}
 		if until >= horizon {
 			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 	}
 }
@@ -451,6 +511,24 @@ func (s *Sim) MetricsInto(out *Metrics) {
 	out.StateTime = st
 	out.Horizon = now
 	out.CostTotal = out.EnergyJ + s.cfg.LatencyWeight*out.BacklogSeconds
+}
+
+// MetricsView accrues up to the current clock and returns the
+// simulator's internal metrics accumulator. The view ALIASES live
+// simulator state: it is valid only until the next Run, Reset, or
+// ResetValidated, and callers must not mutate it or retain it (or its
+// StateTime slice) beyond that window. It is the zero-copy finalize
+// path for callers that drain many short instances through one reused
+// Sim and read a handful of scalars per instance — the fleet shard
+// loop — where MetricsInto's snapshot copy is measurable. Use Metrics
+// or MetricsInto when the snapshot must own its storage.
+func (s *Sim) MetricsView() *Metrics {
+	now := s.k.Now()
+	s.advance(now)
+	s.accrueBacklog(now)
+	s.metrics.Horizon = now
+	s.metrics.CostTotal = s.metrics.EnergyJ + s.cfg.LatencyWeight*s.metrics.BacklogSeconds
+	return &s.metrics
 }
 
 // Observe returns the current observation without advancing time.
@@ -522,6 +600,9 @@ func (s *Sim) scheduleNextArrival() {
 	if t < s.k.Now() {
 		t = s.k.Now() // a lagging source clamps to the present
 	}
+	if t > s.hardHorizon {
+		return // can never fire (Run is bounded by the hard horizon)
+	}
 	if _, err := s.k.Schedule(t, s.hArrival); err != nil {
 		// Only NaN can reach here given the clamp; drop the source.
 		return
@@ -591,7 +672,9 @@ func (s *Sim) abortService() {
 
 func (s *Sim) onTransDone(now float64) {
 	s.advance(now) // settles (idempotent if an earlier advance already did)
-	s.maybeStartService(now)
+	if !s.cfg.SlotCompatible {
+		s.maybeStartService(now) // no-op under batched service
+	}
 	if !s.periodic() {
 		s.decisionPoint(now)
 	}
@@ -618,16 +701,34 @@ func (s *Sim) tick(now float64) {
 			s.metrics.WaitSeconds += now - stamp
 		}
 	}
+	if now >= s.hardHorizon {
+		// Horizon-edge tick: the closing feedback, the decision, and
+		// the next epoch could only influence evolution after now,
+		// which the horizon promise puts out of reach — the batched
+		// service and accrual above are this tick's only pre-horizon
+		// effects. Skipping the rest also skips its policy-stream
+		// draws; streams are per-source, so no other consumer sees the
+		// difference. (A tick strictly before the horizon always runs
+		// in full: its decision governs accrual up to the horizon even
+		// when the next tick falls beyond it.)
+		return
+	}
 	obs := s.observe(now)
 	s.emitFeedback(now, obs)
 	if s.transInProg {
 		s.lastAction = s.transTarget
 	} else {
 		s.decide(now, obs)
-		s.maybeStartService(now)
+		if !s.cfg.SlotCompatible {
+			// In slot-compatible mode service is batched above, so the
+			// call would bail on its first test; skip the call outright.
+			s.maybeStartService(now)
+		}
 	}
 	s.openEpoch(now, obs)
-	s.k.Schedule(now+per, s.hTick)
+	if next := now + per; next <= s.hardHorizon {
+		s.k.Schedule(next, s.hTick)
+	}
 }
 
 // decisionPoint is the event-driven decision hook: consult the policy if
@@ -656,17 +757,18 @@ func (s *Sim) emitFeedback(now float64, obs Observation) {
 	}
 	energy := s.metrics.EnergyJ - s.epochEnergy
 	cost := energy + s.cfg.LatencyWeight*(backlog-s.epochCost)
-	s.learner.Observe(Feedback{
-		Prev:    s.epochObs,
-		Action:  s.lastAction,
-		Sojourn: now - s.epochObs.Now,
-		Energy:  energy,
-		Cost:    cost,
-		Served:  int(s.metrics.Served - s.epochSrv),
-		Arrived: int(s.metrics.Arrived - s.epochArr),
-		Lost:    int(s.metrics.Lost - s.epochLost),
-		Next:    obs,
-	})
+	// Filled field by field: a composite literal would build a temporary
+	// Feedback and block-copy it into the scratch.
+	s.fb.Prev = s.epochObs
+	s.fb.Action = s.lastAction
+	s.fb.Sojourn = now - s.epochObs.Now
+	s.fb.Energy = energy
+	s.fb.Cost = cost
+	s.fb.Served = int(s.metrics.Served - s.epochSrv)
+	s.fb.Arrived = int(s.metrics.Arrived - s.epochArr)
+	s.fb.Lost = int(s.metrics.Lost - s.epochLost)
+	s.fb.Next = obs
+	s.learner.Observe(&s.fb)
 }
 
 // openEpoch snapshots the bases for the next learner interval. It runs

@@ -35,8 +35,11 @@ type Policy interface {
 // Learner is a Policy that adapts online from per-interval feedback.
 type Learner interface {
 	Policy
-	// Observe delivers the outcome of each decision interval.
-	Observe(fb Feedback)
+	// Observe delivers the outcome of each decision interval. fb points
+	// into scratch the simulator reuses every interval: it is valid only
+	// for the duration of the call, and implementations must copy any
+	// fields they keep.
+	Observe(fb *Feedback)
 }
 
 // ---------------------------------------------------------------------------
@@ -137,6 +140,26 @@ type slotAdapter struct {
 	p    slotsim.Policy
 	slot float64
 	sat  int64
+
+	// invSlot is 1/slot when slot is a power of two, else 0. For a
+	// power-of-two slot, x/slot and x*(1/slot) are the same exponent
+	// shift — bit-identical for every x — and the multiply avoids two
+	// hardware divides per quantization on the canonical 0.5 s grid.
+	invSlot float64
+
+	// Single-entry quantization memo, armed only for learner adapters.
+	// Under the periodic governor each learner tick quantizes the same
+	// observation up to three times — once as the closing feedback's
+	// Next, once as the decision input, and once more next tick as the
+	// following feedback's Prev — so remembering the last (input,
+	// output) pair turns two of the three into an equality check.
+	// Non-learner adapters quantize once per tick and would only pay
+	// the memo store. sObs is a pure function of its input for a given
+	// slot/sat, so replaying the memo is bit-identical to recomputing.
+	memoize bool
+	memoIn  Observation
+	memoOut slotsim.Observation
+	memoOK  bool
 }
 
 // slotLearnerAdapter additionally forwards per-interval feedback, so
@@ -147,6 +170,11 @@ type slotAdapter struct {
 type slotLearnerAdapter struct {
 	slotAdapter
 	l slotsim.Learner
+
+	// sfb is the quantized-feedback scratch forwarded by pointer each
+	// interval (the slotsim.Learner contract: receivers copy what they
+	// keep), so the two-observation record is not copied twice per tick.
+	sfb slotsim.Feedback
 }
 
 // Adapt wraps a slotted policy for continuous time with the given
@@ -160,7 +188,11 @@ func Adapt(p slotsim.Policy, refSlot float64) Policy {
 		panic(fmt.Sprintf("ctsim: Adapt requires a positive finite reference slot, got %v", refSlot))
 	}
 	a := slotAdapter{p: p, slot: refSlot, sat: 1024}
+	if frac, _ := math.Frexp(refSlot); frac == 0.5 {
+		a.invSlot = 1 / refSlot
+	}
 	if l, ok := p.(slotsim.Learner); ok {
+		a.memoize = true
 		return &slotLearnerAdapter{slotAdapter: a, l: l}
 	}
 	return &a
@@ -171,7 +203,18 @@ func (a *slotAdapter) Name() string { return a.p.Name() }
 
 // sObs quantizes a continuous observation onto the reference slot grid.
 func (a *slotAdapter) sObs(o Observation) slotsim.Observation {
-	idle := int64(math.Floor(o.IdleTime/a.slot + 1e-9))
+	// Now advances between ticks, so comparing it first short-circuits
+	// almost every miss before the full struct equality.
+	if a.memoOK && o.Now == a.memoIn.Now && o == a.memoIn {
+		return a.memoOut
+	}
+	var idleSlots, now float64
+	if a.invSlot != 0 {
+		idleSlots, now = o.IdleTime*a.invSlot, o.Now*a.invSlot
+	} else {
+		idleSlots, now = o.IdleTime/a.slot, o.Now/a.slot
+	}
+	idle := int64(math.Floor(idleSlots + 1e-9))
 	if idle > a.sat {
 		idle = a.sat
 	}
@@ -179,15 +222,19 @@ func (a *slotAdapter) sObs(o Observation) slotsim.Observation {
 	if o.Transitioning {
 		trem = int(math.Ceil(o.TransRemaining/a.slot - 1e-9))
 	}
-	return slotsim.Observation{
+	out := slotsim.Observation{
 		Phase:          o.Phase,
 		Transitioning:  o.Transitioning,
 		TransTarget:    o.TransTarget,
 		TransRemaining: trem,
 		Queue:          o.Queue,
 		IdleSlots:      idle,
-		Slot:           int64(math.Round(o.Now / a.slot)),
+		Slot:           int64(math.Round(now)),
 	}
+	if a.memoize {
+		a.memoIn, a.memoOut, a.memoOK = o, out, true
+	}
+	return out
 }
 
 // Decide forwards the quantized observation.
@@ -195,16 +242,17 @@ func (a *slotAdapter) Decide(o Observation) Decision {
 	return Decision{Target: a.p.Decide(a.sObs(o))}
 }
 
-// Observe forwards the interval outcome as one slot of feedback.
-func (a *slotLearnerAdapter) Observe(fb Feedback) {
-	a.l.Observe(slotsim.Feedback{
-		Prev:    a.sObs(fb.Prev),
-		Action:  fb.Action,
-		Energy:  fb.Energy,
-		Cost:    fb.Cost,
-		Served:  fb.Served,
-		Arrived: fb.Arrived,
-		Lost:    fb.Lost,
-		Next:    a.sObs(fb.Next),
-	})
+// Observe forwards the interval outcome as one slot of feedback. The
+// scratch record is filled field by field — a composite literal would
+// build a temporary Feedback and block-copy it into the scratch.
+func (a *slotLearnerAdapter) Observe(fb *Feedback) {
+	a.sfb.Prev = a.sObs(fb.Prev)
+	a.sfb.Action = fb.Action
+	a.sfb.Energy = fb.Energy
+	a.sfb.Cost = fb.Cost
+	a.sfb.Served = fb.Served
+	a.sfb.Arrived = fb.Arrived
+	a.sfb.Lost = fb.Lost
+	a.sfb.Next = a.sObs(fb.Next)
+	a.l.Observe(&a.sfb)
 }

@@ -1,0 +1,93 @@
+package dist
+
+// SampleInto bit-equivalence audit: for every law, a block fill must
+// consume the stream and produce values exactly as the same number of
+// single Sample calls — including rejection-looped laws (Pareto's
+// Float64Open) and multi-draw laws (Erlang phases, HyperExp's phase
+// pick). The batched arrival source's output bit-identity reduces to
+// this property.
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func bulkLaws(t *testing.T) []BulkSampler {
+	t.Helper()
+	var laws []BulkSampler
+	for _, name := range Names() {
+		d, err := ByName(name, 2.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs, ok := d.(BulkSampler)
+		if !ok {
+			t.Fatalf("%s does not implement BulkSampler", name)
+		}
+		laws = append(laws, bs)
+	}
+	// A general-path Pareto (Alpha != 1.5) on top of ByName's fast path.
+	p, err := NewPareto(0.5, 2.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(laws, p)
+}
+
+func TestSampleIntoMatchesSample(t *testing.T) {
+	for _, law := range bulkLaws(t) {
+		law := law
+		t.Run(law.String(), func(t *testing.T) {
+			for _, n := range []int{0, 1, 2, 5, 64, 257} {
+				a := rng.New(99)
+				b := rng.New(99)
+				want := make([]float64, n)
+				for i := range want {
+					want[i] = law.Sample(a)
+				}
+				got := make([]float64, n)
+				law.SampleInto(b, got)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d: SampleInto[%d] = %v, Sample %v", n, i, got[i], want[i])
+					}
+				}
+				if a.State() != b.State() {
+					t.Fatalf("n=%d: stream states diverged", n)
+				}
+			}
+		})
+	}
+}
+
+// TestSampleIntoAllocationFree: block fills into a caller buffer perform
+// no heap allocation for any law (the batched arrival hot path).
+func TestSampleIntoAllocationFree(t *testing.T) {
+	for _, law := range bulkLaws(t) {
+		law := law
+		t.Run(law.String(), func(t *testing.T) {
+			s := rng.New(7)
+			buf := make([]float64, 64)
+			avg := testing.AllocsPerRun(20, func() { law.SampleInto(s, buf) })
+			if avg > 0 {
+				t.Errorf("SampleInto allocates %.2f per block, want 0", avg)
+			}
+		})
+	}
+}
+
+func BenchmarkSampleIntoPareto(b *testing.B) {
+	d, err := ByName("pareto", 2.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	law := d.(BulkSampler)
+	s := rng.New(1)
+	buf := make([]float64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		law.SampleInto(s, buf)
+	}
+}

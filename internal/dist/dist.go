@@ -27,6 +27,21 @@ type Continuous interface {
 	String() string
 }
 
+// BulkSampler is the block-draw extension of Continuous: SampleInto
+// fills dst with exactly the sequence len(dst) successive Sample calls
+// would produce — same stream consumption, same bits — in one concrete
+// (devirtualized) call. Batched consumers such as ctsim's arrival source
+// draw a block per interface dispatch instead of one variate per event;
+// rejection steps inside a law (Float64Open) stay per-variate and
+// in-order, which is what makes the bit-equivalence unconditional.
+// Every law in this package implements it; TestSampleIntoMatchesSample
+// audits the equivalence for each.
+type BulkSampler interface {
+	Continuous
+	// SampleInto fills dst with len(dst) variates.
+	SampleInto(s *rng.Stream, dst []float64)
+}
+
 // ---------------------------------------------------------------------------
 // Exponential
 
@@ -45,6 +60,13 @@ func NewExponential(rate float64) (Exponential, error) {
 
 // Sample draws via inverse CDF.
 func (e Exponential) Sample(s *rng.Stream) float64 { return s.ExpFloat64() / e.Rate }
+
+// SampleInto fills dst, bit-identical to len(dst) Sample calls.
+func (e Exponential) SampleInto(s *rng.Stream, dst []float64) {
+	for i := range dst {
+		dst[i] = s.ExpFloat64() / e.Rate
+	}
+}
 
 // Mean returns 1/Rate.
 func (e Exponential) Mean() float64 { return 1 / e.Rate }
@@ -88,6 +110,23 @@ func (p Pareto) Sample(s *rng.Stream) float64 {
 	return p.Xm / math.Pow(u, 1/p.Alpha)
 }
 
+// SampleInto fills dst, bit-identical to len(dst) Sample calls. The
+// Alpha == 1.5 value test is hoisted out of the loop; both branches draw
+// exactly Sample's sequence.
+func (p Pareto) SampleInto(s *rng.Stream, dst []float64) {
+	if p.Alpha == 1.5 {
+		for i := range dst {
+			u := s.Float64Open()
+			dst[i] = p.Xm / math.Cbrt(u*u)
+		}
+		return
+	}
+	inv := 1 / p.Alpha
+	for i := range dst {
+		dst[i] = p.Xm / math.Pow(s.Float64Open(), inv)
+	}
+}
+
 // Mean returns alpha·xm/(alpha-1), or +Inf when alpha <= 1.
 func (p Pareto) Mean() float64 {
 	if p.Alpha <= 1 {
@@ -124,6 +163,14 @@ func (w Weibull) Sample(s *rng.Stream) float64 {
 	return w.Lambda * math.Pow(s.ExpFloat64(), 1/w.K)
 }
 
+// SampleInto fills dst, bit-identical to len(dst) Sample calls.
+func (w Weibull) SampleInto(s *rng.Stream, dst []float64) {
+	inv := 1 / w.K
+	for i := range dst {
+		dst[i] = w.Lambda * math.Pow(s.ExpFloat64(), inv)
+	}
+}
+
 // Mean returns lambda·Γ(1 + 1/k).
 func (w Weibull) Mean() float64 { return w.Lambda * math.Gamma(1+1/w.K) }
 
@@ -156,6 +203,17 @@ func (e Erlang) Sample(s *rng.Stream) float64 {
 		sum += s.ExpFloat64()
 	}
 	return sum / e.Rate
+}
+
+// SampleInto fills dst, bit-identical to len(dst) Sample calls.
+func (e Erlang) SampleInto(s *rng.Stream, dst []float64) {
+	for i := range dst {
+		sum := 0.0
+		for j := 0; j < e.K; j++ {
+			sum += s.ExpFloat64()
+		}
+		dst[i] = sum / e.Rate
+	}
 }
 
 // Mean returns K/Rate.
@@ -195,6 +253,18 @@ func (h HyperExp) Sample(s *rng.Stream) float64 {
 	return s.ExpFloat64() / rate
 }
 
+// SampleInto fills dst, bit-identical to len(dst) Sample calls (the
+// phase pick and the exponential draw stay sequential per variate).
+func (h HyperExp) SampleInto(s *rng.Stream, dst []float64) {
+	for i := range dst {
+		rate := h.Rate2
+		if s.Float64() < h.P {
+			rate = h.Rate1
+		}
+		dst[i] = s.ExpFloat64() / rate
+	}
+}
+
 // Mean returns p/rate1 + (1-p)/rate2.
 func (h HyperExp) Mean() float64 { return h.P/h.Rate1 + (1-h.P)/h.Rate2 }
 
@@ -224,6 +294,17 @@ func NewUniform(a, b float64) (Uniform, error) {
 
 // Sample draws uniformly on [A, B).
 func (u Uniform) Sample(s *rng.Stream) float64 { return u.A + (u.B-u.A)*s.Float64() }
+
+// SampleInto fills dst, bit-identical to len(dst) Sample calls. The
+// uniform law has no rejection step, so it rides the stream's bulk fill
+// and applies the affine map in place.
+func (u Uniform) SampleInto(s *rng.Stream, dst []float64) {
+	s.FillFloat64(dst)
+	w := u.B - u.A
+	for i := range dst {
+		dst[i] = u.A + w*dst[i]
+	}
+}
 
 // Mean returns (A+B)/2.
 func (u Uniform) Mean() float64 { return (u.A + u.B) / 2 }

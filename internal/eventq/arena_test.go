@@ -80,16 +80,44 @@ func (r *refKernel) fire() (float64, int) {
 	return 0, -1
 }
 
-// TestArenaMatchesReferenceHeap drives the production kernel and the
-// reference kernel through the same random interleaving of schedules,
+// kernelConstructors enumerates every Kernel backing. Equivalence and
+// property tests run against each; all backings must produce the same
+// (time, seq) fire order bit for bit.
+var kernelConstructors = []struct {
+	name string
+	newK func() *Kernel
+}{
+	{"heap", New},
+	{"calendar", NewCalendar},
+}
+
+// TestArenaMatchesReferenceHeap drives each production kernel backing and
+// the reference kernel through the same random interleaving of schedules,
 // cancels, and fires, and requires identical fire sequences (time and
 // event identity). This is the load-bearing equivalence test: it pins the
 // (time, seq) total order — and therefore every downstream trajectory —
-// to the pre-arena kernel's.
+// to the pre-arena kernel's, for the heap and calendar backings alike.
 func TestArenaMatchesReferenceHeap(t *testing.T) {
-	f := func(seed uint64) bool {
+	for _, kc := range kernelConstructors {
+		kc := kc
+		t.Run(kc.name, func(t *testing.T) { testMatchesReference(t, kc.newK) })
+	}
+}
+
+func testMatchesReference(t *testing.T, newK func() *Kernel) {
+	f := func(seed uint64) bool { return matchesReferenceOnce(newK, seed) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// matchesReferenceOnce runs one 400-op random interleaving of the
+// production kernel under test against the reference kernel; false means
+// the fire sequences diverged.
+func matchesReferenceOnce(newK func() *Kernel, seed uint64) bool {
+	{
 		s := rng.New(seed)
-		k := New()
+		k := newK()
 		ref := &refKernel{}
 
 		type livePair struct {
@@ -165,9 +193,6 @@ func TestArenaMatchesReferenceHeap(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
-		t.Fatal(err)
-	}
 }
 
 // TestFreeListReuse pins the zero-allocation contract structurally: a
@@ -231,10 +256,18 @@ func TestFreeListReuse(t *testing.T) {
 
 // TestTieBreakDeterminism: same-time events fire in schedule order, even
 // when interleaved with cancels that shuffle heap positions, and
-// independently of how many unrelated events came before.
+// independently of how many unrelated events came before. Runs on every
+// backing — in the calendar, all ties share one bucket chain.
 func TestTieBreakDeterminism(t *testing.T) {
+	for _, kc := range kernelConstructors {
+		kc := kc
+		t.Run(kc.name, func(t *testing.T) { testTieBreak(t, kc.newK) })
+	}
+}
+
+func testTieBreak(t *testing.T, newK func() *Kernel) {
 	run := func(preload int) []int {
-		k := New()
+		k := newK()
 		// Unrelated churn first, to displace arena slot assignment.
 		var junk []Ref
 		for i := 0; i < preload; i++ {
@@ -284,9 +317,17 @@ func TestTieBreakDeterminism(t *testing.T) {
 
 // TestStaleRefSafety: a Ref to a fired or canceled event must stay dead
 // even after its arena slot is reused — Cancel through it must not touch
-// the slot's new occupant.
+// the slot's new occupant. Both backings share the arena generation
+// discipline, so both are exercised.
 func TestStaleRefSafety(t *testing.T) {
-	k := New()
+	for _, kc := range kernelConstructors {
+		kc := kc
+		t.Run(kc.name, func(t *testing.T) { testStaleRef(t, kc.newK) })
+	}
+}
+
+func testStaleRef(t *testing.T, newK func() *Kernel) {
+	k := newK()
 	old, _ := k.Schedule(1, func(float64) {})
 	k.Step() // fires; slot returns to the free list
 	if k.Pending(old) {

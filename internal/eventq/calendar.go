@@ -1,0 +1,273 @@
+// Calendar-queue future event list — the second backing of Kernel.
+//
+// The 4-ary heap (eventq.go) pays O(log n) per operation, and at fleet
+// scale its index-slice traversals are exactly the pointer-chasing the
+// cache can't hide. The calendar queue (R. Brown, "Calendar Queues: A
+// Fast O(1) Priority Queue Implementation for the Simulation Event Set
+// Problem", CACM 1988) and its relative, the hierarchical timing wheel
+// (Varghese & Lauck, SOSP 1987), exploit the profile a discrete-event
+// simulation actually produces — most timers fire near the current time
+// — to make enqueue and dequeue O(1) amortized:
+//
+//   - Time is divided into buckets of width w; an event at time t hashes
+//     to bucket floor(t/w) mod nbuckets, like days into a wall calendar
+//     of nbuckets "days" covering a "year" of nbuckets·w.
+//   - Each bucket chains its events sorted by (time, seq) through the
+//     arena's next links, so the chain head is the bucket minimum and
+//     the FIFO tie-break is structural, not incidental: the fire order
+//     is byte-for-byte the heap kernel's (TestCalendarMatchesReference).
+//   - Dequeue scans buckets from a cursor, accepting a chain head only
+//     when it falls inside the bucket's current-year window; with the
+//     width adapted to the event density, the next event is almost
+//     always in the cursor bucket or the one after it.
+//   - The bucket count doubles/halves with the population and the width
+//     re-derives from the live events' span on every resize, so the
+//     structure tracks the schedule's density automatically.
+//   - Sparse or long-horizon schedules (next event many years ahead —
+//     where a naive calendar degrades to scanning empty buckets forever)
+//     fall back after one fruitless rotation to a direct minimum scan
+//     over the chain heads, then re-anchor the cursor at the event
+//     found, restoring O(1) behavior from there.
+//
+// Both backings share the Kernel API, the Ref generation discipline, and
+// the pooled arena free list; an event's heapIdx field holds its bucket
+// index while calendar-queued, and the free-list next link doubles as
+// the chain link while queued (the two lifetimes are disjoint).
+package eventq
+
+import "math"
+
+const (
+	// calMinBuckets is the floor (and initial) bucket count. Kernels
+	// with a handful of timers — one ctsim instance holds 2–5 — never
+	// resize and hash straight into an 8-bucket calendar.
+	calMinBuckets = 8
+	// calDefaultWidth is the bucket width before the first resize
+	// derives one from the observed schedule (seconds-scale timers are
+	// the repository norm).
+	calDefaultWidth = 1.0
+)
+
+// NewCalendar returns a kernel backed by the calendar queue instead of
+// the 4-ary heap. The two backings are observably identical — same API,
+// same (time, seq) fire order bit for bit, same Ref semantics — and
+// differ only in cost profile: the calendar wins when most events fire
+// near the clock (the fleet/ctsim profile), the heap when schedules are
+// erratic. See DESIGN.md §7 for the measured numbers.
+func NewCalendar() *Kernel {
+	k := &Kernel{cal: true}
+	k.calInit()
+	return k
+}
+
+// Calendar reports whether the kernel runs on the calendar backing.
+func (k *Kernel) Calendar() bool { return k.cal }
+
+// calInit (re)establishes an empty calendar at the default geometry.
+func (k *Kernel) calInit() {
+	if k.buckets == nil {
+		k.buckets = make([]int32, calMinBuckets)
+	} else {
+		for i := range k.buckets {
+			k.buckets[i] = 0
+		}
+	}
+	k.nCal = 0
+	k.width = calDefaultWidth
+	k.cursorVB = 0
+	k.calMin = -1
+}
+
+// calVB returns the virtual bucket (year·nbuckets + day) of time t —
+// float math throughout, so times far beyond 2^53·width degrade to a
+// deterministic single-bucket calendar instead of overflowing.
+func (k *Kernel) calVB(t float64) float64 { return math.Floor(t / k.width) }
+
+// calBucket maps a virtual bucket to its physical bucket index:
+// vb mod nbuckets. Written as floor-division arithmetic rather than
+// math.Mod — the bucket count is always a power of two, so vb/nb,
+// floor, the multiply, and the subtraction are all exact in binary
+// floating point and compile to four hardware instructions, where
+// math.Mod is a software fmod an order of magnitude slower.
+func (k *Kernel) calBucket(vb float64) int {
+	nb := float64(len(k.buckets))
+	return int(vb - math.Floor(vb/nb)*nb)
+}
+
+// calInsert chains arena slot idx into its bucket, keeping the chain
+// sorted by (time, seq) so the head is always the bucket minimum.
+func (k *Kernel) calInsert(idx int32) {
+	e := &k.arena[idx]
+	b := k.calBucket(k.calVB(e.time))
+	e.heapIdx = int32(b)
+	prev := int32(0)
+	cur := k.buckets[b]
+	for cur != 0 && k.less(cur-1, idx) {
+		prev = cur
+		cur = k.arena[cur-1].next
+	}
+	e.next = cur
+	if prev == 0 {
+		k.buckets[b] = idx + 1
+	} else {
+		k.arena[prev-1].next = idx + 1
+	}
+	k.nCal++
+	// Maintain the cached minimum: a strictly earlier event takes it
+	// over; an unknown cache (-1) stays unknown until the next peek.
+	if k.nCal == 1 {
+		k.calMin = idx
+	} else if k.calMin >= 0 && k.less(idx, k.calMin) {
+		k.calMin = idx
+	}
+	if k.nCal > 2*len(k.buckets) {
+		k.calResize(2 * len(k.buckets))
+	}
+}
+
+// calUnlink removes arena slot idx from its bucket chain. Chains are
+// short by construction (the resize policy holds the mean occupancy
+// under 2), so the predecessor scan is O(1) amortized.
+func (k *Kernel) calUnlink(idx int32) {
+	e := &k.arena[idx]
+	b := e.heapIdx
+	prev := int32(0)
+	cur := k.buckets[b]
+	for cur-1 != idx {
+		prev = cur
+		cur = k.arena[cur-1].next
+	}
+	if prev == 0 {
+		k.buckets[b] = e.next
+	} else {
+		k.arena[prev-1].next = e.next
+	}
+	k.nCal--
+	if k.calMin == idx {
+		k.calMin = -1
+	}
+	if len(k.buckets) > calMinBuckets && k.nCal < len(k.buckets)/2 {
+		k.calResize(len(k.buckets) / 2)
+	}
+}
+
+// calPeek returns the arena index of the earliest queued event, or -1
+// when the calendar is empty. The result is cached until an insert
+// beats it or the event leaves the queue.
+func (k *Kernel) calPeek() int32 {
+	if k.nCal == 0 {
+		return -1
+	}
+	if k.calMin >= 0 {
+		return k.calMin
+	}
+	nb := len(k.buckets)
+	// Scan one year of buckets from the cursor, accepting a chain head
+	// only when its virtual bucket equals the bucket's current-year slot.
+	// The acceptance test reuses calVB — the placement function — rather
+	// than comparing times against an accumulated window top: t/w is
+	// monotone and floor collisions are exact, so "head's vb == scan vb"
+	// is free of the one-ulp disagreements a separately computed window
+	// boundary can have with the placement hash (which once skipped a
+	// pending minimum). Chain heads are bucket minima and every live
+	// event's vb is >= cursorVB (the pop/fallback/resize invariant), so
+	// the first hit is the global minimum; ties share a bucket and the
+	// sorted chain orders them by seq.
+	b := k.calBucket(k.cursorVB)
+	vb := k.cursorVB
+	for i := 0; i < nb; i++ {
+		if h := k.buckets[b]; h != 0 && k.calVB(k.arena[h-1].time) == vb {
+			k.cursorVB = vb
+			k.calMin = h - 1
+			return k.calMin
+		}
+		b++
+		if b == nb {
+			b = 0
+		}
+		vb++
+	}
+	// A full rotation found nothing in-year: the schedule is sparse (or
+	// far beyond the cursor). Fall back to a direct minimum over the
+	// chain heads and re-anchor the cursor there, restoring O(1) scans.
+	best := int32(-1)
+	for _, h := range k.buckets {
+		if h != 0 && (best < 0 || k.less(h-1, best)) {
+			best = h - 1
+		}
+	}
+	k.cursorVB = k.calVB(k.arena[best].time)
+	k.calMin = best
+	return best
+}
+
+// calPop unlinks the earliest event (as found by calPeek) and advances
+// the cursor to its bucket.
+func (k *Kernel) calPop(idx int32) {
+	k.cursorVB = k.calVB(k.arena[idx].time)
+	k.calUnlink(idx)
+}
+
+// calResize rebuilds the calendar with nb buckets and a width re-derived
+// from the live events: twice the mean gap (span/count), the classic
+// rule that targets ~2 events per populated bucket. Degenerate spans
+// (all events simultaneous) keep the previous width — every event lands
+// in one bucket either way, and the sorted chain keeps order exact. The
+// rebuild reuses a scratch index slice, so steady-state resizes allocate
+// only when the population reaches a new high-water mark.
+func (k *Kernel) calResize(nb int) {
+	k.calScratch = k.calScratch[:0]
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, h := range k.buckets {
+		for cur := h; cur != 0; {
+			idx := cur - 1
+			cur = k.arena[idx].next
+			k.calScratch = append(k.calScratch, idx)
+			t := k.arena[idx].time
+			if t < lo {
+				lo = t
+			}
+			if t > hi {
+				hi = t
+			}
+		}
+	}
+	if cap(k.buckets) >= nb {
+		k.buckets = k.buckets[:nb]
+	} else {
+		k.buckets = make([]int32, nb)
+	}
+	for i := range k.buckets {
+		k.buckets[i] = 0
+	}
+	if n := len(k.calScratch); n > 1 && hi > lo {
+		k.width = 2 * (hi - lo) / float64(n)
+	}
+	// Re-anchor the cursor below every live event (times never precede
+	// the clock), then re-chain; the inserts rebuild the count and the
+	// cached minimum, and cannot re-trigger a resize (the thresholds
+	// that chose nb leave the final count strictly inside them).
+	k.cursorVB = k.calVB(k.now)
+	k.nCal = 0
+	k.calMin = -1
+	for _, idx := range k.calScratch {
+		k.calInsert(idx)
+	}
+}
+
+// calReset drains every chain back to the free list and restores the
+// default geometry — the calendar half of Kernel.Reset.
+func (k *Kernel) calReset() {
+	for i := range k.buckets {
+		for cur := k.buckets[i]; cur != 0; {
+			idx := cur - 1
+			cur = k.arena[idx].next
+			k.release(idx)
+		}
+		k.buckets[i] = 0
+	}
+	k.nCal = 0
+	k.width = calDefaultWidth
+	k.cursorVB = 0
+	k.calMin = -1
+}

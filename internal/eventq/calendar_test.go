@@ -1,0 +1,310 @@
+package eventq
+
+// Calendar-queue equivalence and adversarial-geometry tests. The
+// property harness of arena_test.go (random schedule/cancel/fire
+// interleavings against the container/heap reference) runs against both
+// backings via kernelConstructors; this file adds the calendar-specific
+// adversarial shapes — all events simultaneous (one bucket, pure chain
+// discipline), exponentially spread times (every event in its own
+// "year", sparse-fallback path), and horizon-edge schedules (events at,
+// just below, and just above Run's horizon) — plus resize churn and the
+// steady-state no-allocation contract on the calendar path.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// calendarFireOrder runs the same schedule set on a heap kernel and a
+// calendar kernel and requires identical (time, id) fire sequences.
+func calendarFireOrder(t *testing.T, name string, times []float64) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		type fire struct {
+			t  float64
+			id int
+		}
+		run := func(k *Kernel) []fire {
+			var got []fire
+			for i, tt := range times {
+				id := i
+				if _, err := k.Schedule(tt, func(now float64) {
+					got = append(got, fire{t: now, id: id})
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for k.Step() {
+			}
+			return got
+		}
+		want := run(New())
+		got := run(NewCalendar())
+		if len(got) != len(want) {
+			t.Fatalf("calendar fired %d events, heap fired %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("fire %d: calendar %+v, heap %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// TestCalendarAdversarialGeometries pins the fire order on schedules
+// chosen to break a calendar's bucket geometry.
+func TestCalendarAdversarialGeometries(t *testing.T) {
+	// All events at the same instant: one bucket holds everything; order
+	// must be pure FIFO through the sorted chain.
+	same := make([]float64, 200)
+	for i := range same {
+		same[i] = 42.5
+	}
+	calendarFireOrder(t, "all-same-time", same)
+
+	// Exponentially spread: event i at 2^i — every event beyond the
+	// first few lies years past the cursor, so each dequeue takes the
+	// sparse-fallback scan.
+	exp := make([]float64, 60)
+	for i := range exp {
+		exp[i] = math.Pow(2, float64(i))
+	}
+	calendarFireOrder(t, "exponential-spread", exp)
+
+	// Exponentially spread, scheduled in reverse so inserts land before
+	// the cursor-adjacent events repeatedly.
+	rev := make([]float64, len(exp))
+	for i := range rev {
+		rev[i] = exp[len(exp)-1-i]
+	}
+	calendarFireOrder(t, "exponential-spread-reversed", rev)
+
+	// Dense cluster plus one far outlier: the resize width derivation
+	// must not let the outlier-stretched span break ordering.
+	cluster := make([]float64, 120)
+	for i := range cluster {
+		cluster[i] = 10 + float64(i%7)*1e-6
+	}
+	cluster = append(cluster, 1e12)
+	calendarFireOrder(t, "cluster-with-outlier", cluster)
+
+	// Sub-width ties: many distinct times inside one default-width
+	// bucket.
+	tiny := make([]float64, 150)
+	for i := range tiny {
+		tiny[i] = 0.5 + float64((i*37)%150)*1e-9
+	}
+	calendarFireOrder(t, "sub-width-cluster", tiny)
+}
+
+// TestCalendarHorizonEdge: Run must fire events at exactly the horizon,
+// leave events one ulp past it queued, and advance the clock to the
+// horizon — identically on both backings, including after the cursor
+// has advanced far beyond the remaining schedule's year.
+func TestCalendarHorizonEdge(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		newK func() *Kernel
+	}{{"heap", New}, {"calendar", NewCalendar}} {
+		t.Run(mk.name, func(t *testing.T) {
+			k := mk.newK()
+			h := 100.0
+			var fired []float64
+			log := func(now float64) { fired = append(fired, now) }
+			k.Schedule(h, log)                      // exactly at horizon
+			k.Schedule(math.Nextafter(h, 200), log) // one ulp past
+			k.Schedule(math.Nextafter(h, 0), log)   // one ulp before
+			k.Schedule(h, log)                      // horizon tie (FIFO)
+			if err := k.Run(h); err != nil {
+				t.Fatal(err)
+			}
+			want := []float64{math.Nextafter(h, 0), h, h}
+			if len(fired) != len(want) {
+				t.Fatalf("fired %v, want %v", fired, want)
+			}
+			for i := range want {
+				if fired[i] != want[i] {
+					t.Fatalf("fired %v, want %v", fired, want)
+				}
+			}
+			if k.Now() != h {
+				t.Fatalf("clock %v after Run, want %v", k.Now(), h)
+			}
+			if k.Len() != 1 {
+				t.Fatalf("%d events left, want the one past the horizon", k.Len())
+			}
+			// The leftover fires on the next Run — after the clock sat at
+			// the horizon (cursor far behind the event's bucket year).
+			if err := k.Run(2 * h); err != nil {
+				t.Fatal(err)
+			}
+			if len(fired) != 4 || fired[3] != math.Nextafter(h, 200) {
+				t.Fatalf("past-horizon event misfired: %v", fired)
+			}
+		})
+	}
+}
+
+// TestCalendarResizeChurn grows the population through several doublings
+// and shrinks it back, checking Len and exhaustive ordered drain.
+func TestCalendarResizeChurn(t *testing.T) {
+	k := NewCalendar()
+	s := rng.New(7)
+	var refs []Ref
+	const n = 500 // 8 buckets → several doublings
+	for i := 0; i < n; i++ {
+		r, err := k.Schedule(s.Float64()*1000, func(float64) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, r)
+	}
+	if k.Len() != n {
+		t.Fatalf("Len %d after %d schedules", k.Len(), n)
+	}
+	// Cancel every other event: drives the shrink path.
+	for i := 0; i < n; i += 2 {
+		k.Cancel(refs[i])
+	}
+	if k.Len() != n/2 {
+		t.Fatalf("Len %d after cancels, want %d", k.Len(), n/2)
+	}
+	last := math.Inf(-1)
+	fired := 0
+	for k.Step() {
+		if k.Now() < last {
+			t.Fatalf("out-of-order fire: %v after %v", k.Now(), last)
+		}
+		last = k.Now()
+		fired++
+	}
+	if fired != n/2 {
+		t.Fatalf("drained %d events, want %d", fired, n/2)
+	}
+}
+
+// TestCalendarResetBehavesFresh: a Reset calendar kernel reproduces a
+// fresh kernel's fire sequence bit for bit — the fleet worker reuse
+// contract — even after churn that resized the calendar.
+func TestCalendarResetBehavesFresh(t *testing.T) {
+	seq := func(k *Kernel) []float64 {
+		s := rng.New(42)
+		var out []float64
+		log := func(now float64) { out = append(out, now) }
+		for i := 0; i < 64; i++ {
+			k.Schedule(float64(int(s.Float64()*16)), log)
+		}
+		if err := k.Run(16); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	churned := NewCalendar()
+	s := rng.New(9)
+	for i := 0; i < 300; i++ { // force growth + width adaptation
+		churned.Schedule(s.Float64()*500, func(float64) {})
+	}
+	churned.Reset()
+	got := seq(churned)
+	want := seq(NewCalendar())
+	if len(got) != len(want) {
+		t.Fatalf("reset kernel fired %d, fresh fired %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire %d: reset %v, fresh %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCalendarSteadyStateAllocationFree: the self-rescheduling cycle —
+// the ctsim steady state — allocates nothing on the calendar backing.
+// Part of the CI allocation-regression step (AllocationFree name match).
+func TestCalendarSteadyStateAllocationFree(t *testing.T) {
+	k := NewCalendar()
+	var spin Handler
+	spin = func(now float64) { k.After(0.75, spin) }
+	k.After(0.75, spin)
+	for i := 0; i < 100; i++ { // warm
+		k.Step()
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 1000; i++ {
+			k.Step()
+		}
+	})
+	if avg > 0 {
+		t.Errorf("calendar steady-state loop allocates: %.2f allocs per 1000 events, want 0", avg)
+	}
+	if len(k.arena) != 1 {
+		t.Errorf("self-rescheduling chain grew the arena to %d slots, want 1", len(k.arena))
+	}
+}
+
+// BenchmarkCalendarScheduleAndFire mirrors BenchmarkScheduleAndFire on
+// the calendar backing: one near-now schedule + fire per op.
+func BenchmarkCalendarScheduleAndFire(b *testing.B) {
+	k := NewCalendar()
+	s := rng.New(1)
+	fn := func(float64) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(k.Now()+s.Float64(), fn)
+		k.Step()
+	}
+}
+
+// BenchmarkKernelHold measures schedule+fire with a large standing
+// population — the regime where the heap pays O(log n) with cold index
+// traversals and the calendar stays O(1). This is the crossover the
+// DESIGN.md kernel-selection note quantifies.
+func BenchmarkKernelHold(b *testing.B) {
+	for _, kc := range kernelConstructors {
+		for _, hold := range []int{1 << 10, 1 << 16} {
+			kc, hold := kc, hold
+			b.Run(kc.name+"/"+itoa(hold), func(b *testing.B) {
+				k := kc.newK()
+				s := rng.New(1)
+				fn := func(float64) {}
+				for i := 0; i < hold; i++ {
+					k.Schedule(s.Float64(), fn)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					k.Schedule(k.Now()+s.Float64(), fn)
+					k.Step()
+				}
+			})
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n >= 1<<16 {
+		return "64k"
+	}
+	return "1k"
+}
+
+// BenchmarkCalendarScheduleCancel mirrors BenchmarkScheduleCancel (the
+// wake-timer churn pattern) on the calendar backing.
+func BenchmarkCalendarScheduleCancel(b *testing.B) {
+	k := NewCalendar()
+	s := rng.New(1)
+	fn := func(float64) {}
+	var standing [64]Ref
+	for i := range standing {
+		standing[i], _ = k.Schedule(s.Float64()*100, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i & 63
+		k.Cancel(standing[j])
+		standing[j], _ = k.Schedule(k.Now()+s.Float64()*100, fn)
+	}
+}

@@ -65,14 +65,18 @@ type event struct {
 	time    float64
 	seq     uint64 // FIFO tie-breaker for equal times
 	fn      Handler
-	heapIdx int32  // position in Kernel.heap, -1 when free
+	heapIdx int32  // heap position (calendar: bucket index), -1 when free
 	gen     uint32 // bumped on release; pairs with Ref.gen
-	next    int32  // free-list link (slot+1 form), meaningful while free
+	next    int32  // free-list / calendar-chain link (slot+1 form)
 }
 
 // Kernel is a discrete-event simulation executive. It is not safe for
 // concurrent use; simulations that need parallelism run one Kernel per
 // goroutine with split rng streams.
+//
+// Two interchangeable backings share this type: the 4-ary indexed heap
+// (New) and the calendar queue (NewCalendar — see calendar.go). Both
+// produce the identical (time, seq) fire order bit for bit.
 type Kernel struct {
 	now     float64
 	arena   []event
@@ -81,6 +85,15 @@ type Kernel struct {
 	seq     uint64
 	fired   uint64
 	stopped bool
+
+	// Calendar backing (cal == true); see calendar.go.
+	cal        bool
+	buckets    []int32 // chain heads (slot+1 form), sorted by (time, seq)
+	nCal       int     // queued event count
+	width      float64 // bucket width in time units
+	cursorVB   float64 // dequeue cursor: virtual bucket, floor(time/width)
+	calMin     int32   // cached earliest arena index, -1 = unknown
+	calScratch []int32 // resize rebuild scratch
 }
 
 // New returns a kernel with the clock at 0.
@@ -92,10 +105,14 @@ func New() *Kernel { return &Kernel{} }
 // back to back resets one kernel instead of reallocating per replica; the
 // behavior after Reset is bit-identical to a new kernel's.
 func (k *Kernel) Reset() {
-	for _, idx := range k.heap {
-		k.release(idx)
+	if k.cal {
+		k.calReset()
+	} else {
+		for _, idx := range k.heap {
+			k.release(idx)
+		}
+		k.heap = k.heap[:0]
 	}
-	k.heap = k.heap[:0]
 	k.now = 0
 	k.seq = 0
 	k.fired = 0
@@ -109,9 +126,14 @@ func (k *Kernel) Now() float64 { return k.now }
 func (k *Kernel) Fired() uint64 { return k.fired }
 
 // Len returns the number of queued events. It is O(1) and exact: Cancel
-// removes events from the heap immediately, so there are no lazily
+// removes events from the backing immediately, so there are no lazily
 // deleted entries to discount.
-func (k *Kernel) Len() int { return len(k.heap) }
+func (k *Kernel) Len() int {
+	if k.cal {
+		return k.nCal
+	}
+	return len(k.heap)
+}
 
 // Pending reports whether r's event is still queued (not fired, not
 // canceled). A zero Ref and a stale Ref both report false.
@@ -181,11 +203,15 @@ func (k *Kernel) Schedule(t float64, fn Handler) (Ref, error) {
 	e.seq = k.seq
 	e.fn = fn
 	k.seq++
-	i := len(k.heap)
-	k.heap = append(k.heap, idx)
-	e.heapIdx = int32(i)
-	k.siftUp(i)
-	return Ref{slot: idx + 1, gen: e.gen}, nil
+	if k.cal {
+		k.calInsert(idx)
+	} else {
+		i := len(k.heap)
+		k.heap = append(k.heap, idx)
+		e.heapIdx = int32(i)
+		k.siftUp(i)
+	}
+	return Ref{slot: idx + 1, gen: k.arena[idx].gen}, nil
 }
 
 // After queues fn to run delay time units from now; delay must be >= 0.
@@ -203,7 +229,11 @@ func (k *Kernel) Cancel(r Ref) {
 	if idx < 0 {
 		return
 	}
-	k.removeAt(int(k.arena[idx].heapIdx))
+	if k.cal {
+		k.calUnlink(idx)
+	} else {
+		k.removeAt(int(k.arena[idx].heapIdx))
+	}
 	k.release(idx)
 }
 
@@ -214,20 +244,28 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Step fires the earliest pending event. It returns false when the queue
 // is empty.
 func (k *Kernel) Step() bool {
-	if len(k.heap) == 0 {
-		return false
+	var idx int32
+	if k.cal {
+		if idx = k.calPeek(); idx < 0 {
+			return false
+		}
+		k.calPop(idx)
+	} else {
+		if len(k.heap) == 0 {
+			return false
+		}
+		idx = k.heap[0]
+		n := len(k.heap) - 1
+		last := k.heap[n]
+		k.heap = k.heap[:n]
+		if n > 0 {
+			k.heap[0] = last
+			k.arena[last].heapIdx = 0
+			k.siftDown(0)
+		}
 	}
-	idx := k.heap[0]
 	e := &k.arena[idx]
 	t, fn := e.time, e.fn
-	n := len(k.heap) - 1
-	last := k.heap[n]
-	k.heap = k.heap[:n]
-	if n > 0 {
-		k.heap[0] = last
-		k.arena[last].heapIdx = 0
-		k.siftDown(0)
-	}
 	// Release before invoking the handler so a rescheduling handler (the
 	// steady-state pattern) reuses this very slot without growing the
 	// arena. e is invalid past this point: the handler may grow the arena.
@@ -249,8 +287,18 @@ func (k *Kernel) Run(horizon float64) error {
 		return fmt.Errorf("eventq: horizon %v precedes current time %v", horizon, k.now)
 	}
 	k.stopped = false
-	for !k.stopped && len(k.heap) > 0 && k.arena[k.heap[0]].time <= horizon {
-		k.Step()
+	if k.cal {
+		for !k.stopped {
+			idx := k.calPeek()
+			if idx < 0 || k.arena[idx].time > horizon {
+				break
+			}
+			k.Step()
+		}
+	} else {
+		for !k.stopped && len(k.heap) > 0 && k.arena[k.heap[0]].time <= horizon {
+			k.Step()
+		}
 	}
 	if !k.stopped && k.now < horizon {
 		k.now = horizon

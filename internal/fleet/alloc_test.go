@@ -130,6 +130,42 @@ func TestFleetCTEventLoopAllocationFree(t *testing.T) {
 	}
 }
 
+// TestFleetShardLoopAllocationFree is the acceptance gate for pooled
+// shard summaries: once a worker is warm and the summary pool holds a
+// recycled part, a complete shard cycle — runShard over every instance,
+// merge into the fleet total, return the part to the pool — performs
+// zero heap allocations, in both kernels. This is what makes fleet
+// allocations scale with classes (and the in-flight merge window), not
+// with the number of shards run. Part of the CI allocation-regression
+// step (AllocationFree name match).
+func TestFleetShardLoopAllocationFree(t *testing.T) {
+	for _, mode := range []Mode{ModeCT, ModeSlot} {
+		t.Run(string(mode), func(t *testing.T) {
+			spec := Spec{Devices: 64, Classes: DefaultMix(), Mode: mode, Horizon: 64, ShardSize: 64, Seed: 3}
+			r, err := newRunner(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := newSummary(r, 0)
+			ws := warmScratch(t, r, total)
+			ctx := context.Background()
+			cycle := func() {
+				part, err := r.runShard(ctx, 0, ws)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total.Merge(part)
+				r.putSummary(part)
+			}
+			cycle() // warm: results store, pooled part, total's sketch bins
+			allocs := testing.AllocsPerRun(16, cycle)
+			if allocs != 0 {
+				t.Fatalf("%s shard loop allocates %.1f times per shard after warm-up", mode, allocs)
+			}
+		})
+	}
+}
+
 // BenchmarkFleetInstanceCT measures one full fleet CT instance through
 // the worker reuse path (reseed, reset, run, MetricsInto), reporting
 // ns/event. One op = one instance at a 512 s horizon.

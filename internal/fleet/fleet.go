@@ -45,6 +45,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/ctsim"
 	"repro/internal/device"
@@ -264,6 +265,49 @@ type runner struct {
 	// pattern maps i % len(pattern) to a class index — the weighted
 	// round-robin interleave that assigns instances to classes.
 	pattern []int
+	// classOffsets[ci] lists the pattern positions owned by class ci, so
+	// a shard can enumerate one class's instances directly (first
+	// matching index, then strides of len(pattern)) — the class-major
+	// execution order of runShard.
+	classOffsets [][]int
+	// sumFree recycles shard summaries between runShard (producer) and
+	// the serialized reducer in Run (consumer, which returns each part
+	// after merging it). A free list — rather than one summary per worker
+	// — is required because MapReduceWorkers buffers a window of
+	// completed summaries per worker for the in-order fold, so a worker
+	// may start its next shard while earlier summaries are still queued.
+	// With recycling, summary construction cost scales with the in-flight
+	// window (O(workers)), not with the number of shards run. A plain
+	// mutexed stack beats sync.Pool here: the GC clears sync.Pool's
+	// caches mid-run, forcing fresh summaries for no benefit, and the
+	// lock is uncontended in practice (a take/put pair per multi-
+	// millisecond shard).
+	sumMu   sync.Mutex
+	sumFree []*Summary
+}
+
+// takeSummary returns a recycled shard summary reset for n instances,
+// or a fresh one when the free list is empty.
+func (r *runner) takeSummary(n int) *Summary {
+	r.sumMu.Lock()
+	if k := len(r.sumFree); k > 0 {
+		s := r.sumFree[k-1]
+		r.sumFree = r.sumFree[:k-1]
+		r.sumMu.Unlock()
+		s.reset(r, n)
+		return s
+	}
+	r.sumMu.Unlock()
+	return newSummary(r, n)
+}
+
+// putSummary returns a merged shard summary to the free list. Callers
+// must not retain any reference into it (Merge copies everything it
+// keeps).
+func (r *runner) putSummary(s *Summary) {
+	r.sumMu.Lock()
+	r.sumFree = append(r.sumFree, s)
+	r.sumMu.Unlock()
 }
 
 // workerScratch is one worker's reusable simulation state: the
@@ -278,6 +322,14 @@ type workerScratch struct {
 	slot    *slotsim.Sim
 	metrics ctsim.Metrics
 	classes []classScratch
+
+	// results is the shard's struct-of-arrays result store: one flat
+	// instanceResult row per instance, written in class-major execution
+	// order and folded into the summary in instance order (the fold
+	// order is the bit-exactness contract; execution order is free
+	// because every instance's randomness derives from its own seed).
+	// Reused across all the shards the worker runs.
+	results []instanceResult
 
 	// Per-instance stream derivation, in place: root is reseeded from
 	// the instance seed and split into the policy and simulator streams,
@@ -294,6 +346,12 @@ type classScratch struct {
 	adapted  ctsim.Policy         // CT mode: pol behind the slot adapter
 	src      *ctsim.RenewalSource // CT mode arrival source
 	arr      *workload.Renewal    // slot mode arrival process
+	// cfg is the instance configuration for this (worker, class) pair —
+	// every field is constant across instances (the per-instance state
+	// lives in the stream, source, and policy, all reset in place) — so
+	// it is validated once here and every Reset takes the
+	// ctsim.ResetValidated fast path.
+	cfg ctsim.Config
 }
 
 // classState returns the worker's pooled objects for class ci, building
@@ -320,6 +378,24 @@ func (ws *workerScratch) classState(r *runner, ci int) (*classScratch, error) {
 	if r.spec.Mode == ModeCT {
 		cs.adapted = ctsim.Adapt(pol, r.spec.Period)
 		if cs.src, err = ctsim.NewRenewalSource(cc.arrDist); err != nil {
+			return nil, err
+		}
+		// Instances never run past the spec horizon, so the source can
+		// size its pre-draw blocks against it instead of buying a full
+		// ramp block for the one speculative past-horizon draw. Purely a
+		// sizing hint: arrival sequences (and so all output) are
+		// unchanged.
+		cs.src.SetLimit(r.spec.Horizon)
+		cs.cfg = ctsim.Config{
+			Device:         cc.src.Device,
+			QueueCap:       r.spec.QueueCap,
+			LatencyWeight:  r.spec.LatencyWeight / r.spec.Period,
+			Policy:         cs.adapted,
+			Source:         cs.src,
+			Stream:         &ws.simStream,
+			DecisionPeriod: r.spec.Period,
+		}
+		if err := cs.cfg.Validate(); err != nil {
 			return nil, err
 		}
 	} else {
@@ -368,6 +444,10 @@ func newRunner(spec Spec) (*runner, error) {
 			r.pattern = append(r.pattern, ci)
 		}
 	}
+	r.classOffsets = make([][]int, len(r.classes))
+	for p, ci := range r.pattern {
+		r.classOffsets[ci] = append(r.classOffsets[ci], p)
+	}
 	return r, nil
 }
 
@@ -390,66 +470,102 @@ func (r *runner) prepareInstance(i int, ws *workerScratch) (*classScratch, error
 	if err != nil {
 		return nil, err
 	}
-	ws.root.Reseed(engine.SeedFor(r.spec.Seed, uint64(i)))
-	ws.root.SplitInto(&ws.polStream)
-	ws.root.SplitInto(&ws.simStream)
+	r.seedInstance(i, ws)
 	cs.resetPol(&ws.polStream)
 	return cs, nil
 }
 
+// seedInstance derives instance i's policy and simulation streams from
+// its per-instance seed — the stream-derivation half of prepareInstance,
+// for callers that already hold the class scratch.
+func (r *runner) seedInstance(i int, ws *workerScratch) {
+	ws.root.Reseed(engine.SeedFor(r.spec.Seed, uint64(i)))
+	ws.root.SplitInto(&ws.polStream)
+	ws.root.SplitInto(&ws.simStream)
+}
+
 // runInstanceCT executes instance i on the worker's reusable simulator
-// and folds its metrics into sum.
+// and folds its metrics into sum (the test-facing wrapper of
+// instanceCT).
 func (r *runner) runInstanceCT(ctx context.Context, i int, ws *workerScratch, sum *Summary) error {
-	cc := &r.classes[r.classOf(i)]
-	cs, err := r.prepareInstance(i, ws)
+	ci := r.classOf(i)
+	cs, err := ws.classState(r, ci)
 	if err != nil {
 		return err
 	}
-	cs.src.Reset()
-	cfg := ctsim.Config{
-		Device:         cc.src.Device,
-		QueueCap:       r.spec.QueueCap,
-		LatencyWeight:  r.spec.LatencyWeight / r.spec.Period,
-		Policy:         cs.adapted,
-		Source:         cs.src,
-		Stream:         &ws.simStream,
-		DecisionPeriod: r.spec.Period,
+	var res instanceResult
+	if err := r.instanceCT(ctx, i, &r.classes[ci], cs, ws, &res); err != nil {
+		return err
 	}
+	sum.addInstance(ci, res)
+	return nil
+}
+
+// instanceCT executes instance i on the worker's reusable simulator and
+// writes its result row into *out (every field is assigned, so a reused
+// row slot carries nothing over; on error *out is meaningless). cc and
+// cs must be instance i's class — the shard loop runs class-major and
+// hoists that lookup out of its inner loop. The instance configuration
+// is the class's cached prevalidated Config, so steady-state turnover
+// is reseed + resets + ResetValidated — no validation pass, no Config
+// assembly.
+func (r *runner) instanceCT(ctx context.Context, i int, cc *compiledClass, cs *classScratch, ws *workerScratch, out *instanceResult) error {
+	r.seedInstance(i, ws)
+	cs.resetPol(&ws.polStream)
+	cs.src.Reset()
+	var err error
 	if ws.sim == nil {
-		if ws.sim, err = ctsim.New(cfg); err != nil {
+		if ws.sim, err = ctsim.New(cs.cfg); err != nil {
 			return err
 		}
-	} else if err = ws.sim.Reset(cfg); err != nil {
+		// Instances never run past the horizon, so events landing beyond
+		// it can skip the kernel; the hint survives ResetValidated.
+		ws.sim.SetHorizonHint(r.spec.Horizon)
+	} else if err = ws.sim.ResetValidated(cs.cfg); err != nil {
 		return err
 	}
 	if err := ws.sim.RunChunked(ctx, r.spec.Horizon, r.spec.Period*cancelChunkTicks); err != nil {
 		return err
 	}
-	ws.sim.MetricsInto(&ws.metrics)
-	m := &ws.metrics
-	sum.addInstance(r.classOf(i), instanceResult{
-		avgPowerW:   m.AvgPowerW(),
-		energyRed:   1 - m.AvgPowerW()/cc.maxPower,
-		meanWaitSec: m.MeanWaitSeconds(),
-		lossRate:    m.LossRate(),
-		energyJ:     m.EnergyJ,
-		arrived:     m.Arrived,
-		served:      m.Served,
-		lost:        m.Lost,
-		events:      ws.sim.FiredEvents(),
-	})
+	m := ws.sim.MetricsView()
+	avgPower := m.AvgPowerW()
+	out.avgPowerW = avgPower
+	out.energyRed = 1 - avgPower/cc.maxPower
+	out.meanWaitSec = m.MeanWaitSeconds()
+	out.lossRate = m.LossRate()
+	out.energyJ = m.EnergyJ
+	out.arrived = m.Arrived
+	out.served = m.Served
+	out.lost = m.Lost
+	out.events = ws.sim.FiredEvents()
 	return nil
 }
 
 // runInstanceSlot executes instance i on the worker's reusable slotted
-// simulator and folds its metrics into sum.
+// simulator and folds its metrics into sum (the test-facing wrapper of
+// instanceSlot).
 func (r *runner) runInstanceSlot(ctx context.Context, i int, ws *workerScratch, sum *Summary) error {
-	cc := &r.classes[r.classOf(i)]
-	cs, err := r.prepareInstance(i, ws)
+	ci := r.classOf(i)
+	cs, err := ws.classState(r, ci)
 	if err != nil {
 		return err
 	}
+	var res instanceResult
+	if err := r.instanceSlot(ctx, i, &r.classes[ci], cs, ws, &res); err != nil {
+		return err
+	}
+	sum.addInstance(ci, res)
+	return nil
+}
+
+// instanceSlot executes instance i on the worker's reusable slotted
+// simulator and writes its result row into *out. cc and cs must be
+// instance i's class (see instanceCT).
+func (r *runner) instanceSlot(ctx context.Context, i int, cc *compiledClass, cs *classScratch, ws *workerScratch, out *instanceResult) error {
+	r.seedInstance(i, ws)
+	cs.resetPol(&ws.polStream)
 	cs.arr.Reset()
+	var err error
 	cfg := slotsim.Config{
 		Device:        cc.slotted,
 		Arrivals:      cs.arr,
@@ -468,10 +584,10 @@ func (r *runner) runInstanceSlot(ctx context.Context, i int, ws *workerScratch, 
 	sim := ws.slot
 	slots := int64(math.Ceil(r.spec.Horizon/r.spec.Period - 1e-9))
 	var m slotsim.Metrics
+	// Poll the context between chunks, not before the first: an instance
+	// that fits in one chunk costs no context check here (the shard loop
+	// polls per batch of instances).
 	for remaining := slots; remaining > 0; {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
 		chunk := int64(cancelChunkTicks)
 		if remaining < chunk {
 			chunk = remaining
@@ -480,41 +596,87 @@ func (r *runner) runInstanceSlot(ctx context.Context, i int, ws *workerScratch, 
 			return err
 		}
 		remaining -= chunk
+		if remaining > 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 	}
 	p := m.AvgPowerW(r.spec.Period)
-	sum.addInstance(r.classOf(i), instanceResult{
-		avgPowerW:   p,
-		energyRed:   1 - p/cc.maxPower,
-		meanWaitSec: m.MeanWaitSlots() * r.spec.Period,
-		lossRate:    m.LossRate(),
-		energyJ:     m.EnergyJ,
-		arrived:     m.Arrived,
-		served:      m.Served,
-		lost:        m.Lost,
-		events:      uint64(m.Slots),
-	})
+	out.avgPowerW = p
+	out.energyRed = 1 - p/cc.maxPower
+	out.meanWaitSec = m.MeanWaitSlots() * r.spec.Period
+	out.lossRate = m.LossRate()
+	out.energyJ = m.EnergyJ
+	out.arrived = m.Arrived
+	out.served = m.Served
+	out.lost = m.Lost
+	out.events = uint64(m.Slots)
 	return nil
 }
 
 // runShard executes one contiguous block of instances and returns its
 // streaming summary.
+//
+// Execution is class-major: all of the shard's instances of class 0,
+// then class 1, and so on — consecutive instances share the compiled
+// interarrival law, the pooled policy's code paths, and the class
+// config, so branch predictors and the per-class working set stay warm
+// instead of being evicted every instance by the round-robin interleave.
+// Results land in the worker's flat struct-of-arrays row store and are
+// folded into the summary afterwards in ascending instance order —
+// bit-identical to instance-major execution, because each instance's
+// randomness is a pure function of its own seed and the fold order is
+// unchanged.
 func (r *runner) runShard(ctx context.Context, shard int, ws *workerScratch) (*Summary, error) {
 	lo := shard * r.spec.ShardSize
 	hi := lo + r.spec.ShardSize
 	if hi > r.spec.Devices {
 		hi = r.spec.Devices
 	}
-	sum := newSummary(r, hi-lo)
-	for i := lo; i < hi; i++ {
-		var err error
-		if r.spec.Mode == ModeCT {
-			err = r.runInstanceCT(ctx, i, ws, sum)
-		} else {
-			err = r.runInstanceSlot(ctx, i, ws, sum)
-		}
+	n := hi - lo
+	if cap(ws.results) < n {
+		ws.results = make([]instanceResult, n)
+	}
+	res := ws.results[:n]
+	L := len(r.pattern)
+	// The context is polled here once per pollEvery instances (instances
+	// shorter than a cancellation chunk never poll it themselves), so a
+	// canceled run stops within a bounded handful of instances without
+	// paying a per-instance context check — Err on a cancelable context
+	// takes a mutex, which is measurable at a million instances.
+	const pollEvery = 16
+	polled := 0
+	for ci := range r.classes {
+		cc := &r.classes[ci]
+		cs, err := ws.classState(r, ci)
 		if err != nil {
-			return nil, fmt.Errorf("fleet: instance %d (%s): %w", i, r.classes[r.classOf(i)].name, err)
+			return nil, err
 		}
+		for _, off := range r.classOffsets[ci] {
+			// First instance >= lo congruent to off mod L, then stride L.
+			first := lo + (off-lo%L+L)%L
+			for i := first; i < hi; i += L {
+				if polled&(pollEvery-1) == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
+				polled++
+				if r.spec.Mode == ModeCT {
+					err = r.instanceCT(ctx, i, cc, cs, ws, &res[i-lo])
+				} else {
+					err = r.instanceSlot(ctx, i, cc, cs, ws, &res[i-lo])
+				}
+				if err != nil {
+					return nil, fmt.Errorf("fleet: instance %d (%s): %w", i, cc.name, err)
+				}
+			}
+		}
+	}
+	sum := r.takeSummary(n)
+	for i := lo; i < hi; i++ {
+		sum.addInstance(r.classOf(i), res[i-lo])
 	}
 	return sum, nil
 }
@@ -543,6 +705,7 @@ func Run(ctx context.Context, spec Spec, pool *engine.Pool) (*Summary, error) {
 		},
 		func(_ int, part *Summary) error {
 			total.Merge(part)
+			r.putSummary(part)
 			return nil
 		})
 	if err != nil {

@@ -111,6 +111,45 @@ func newSummary(r *runner, n int) *Summary {
 	return s
 }
 
+// reset returns s to the empty state newSummary(r, n) produces while
+// keeping every allocation at capacity: the class slice, the sketch's
+// bin array, and the exact-mode waits buffer. A reset summary folds and
+// merges bit-identically to a fresh one — this is what licenses the
+// shard-summary pool (runner.takeSummary), which keeps per-shard
+// summary construction off the allocator so fleet allocs scale with
+// classes, not shards run.
+func (s *Summary) reset(r *runner, n int) {
+	s.Mode = r.spec.Mode
+	s.Devices = 0
+	s.Shards = 0
+	s.HorizonSec = r.spec.Horizon
+	s.EnergyJ = 0
+	s.Arrived, s.Served, s.Lost = 0, 0, 0
+	s.Events = 0
+	s.AvgPowerW = stats.Running{}
+	s.EnergyReduction = stats.Running{}
+	s.MeanWaitSec = stats.Running{}
+	s.LossRate = stats.Running{}
+	for ci := range s.Classes {
+		c := &s.Classes[ci]
+		c.Instances = 0
+		c.AvgPowerW = stats.Running{}
+		c.EnergyReduction = stats.Running{}
+		c.MeanWaitSec = stats.Running{}
+		c.LossRate = stats.Running{}
+	}
+	s.WaitSketch.Reset()
+	if r.spec.Quantiles == QuantilesExact {
+		if cap(s.Waits) < n {
+			s.Waits = make([]float64, 0, n)
+		} else {
+			s.Waits = s.Waits[:0]
+		}
+	} else {
+		s.Waits = nil
+	}
+}
+
 // addInstance folds one instance's results into the summary.
 func (s *Summary) addInstance(class int, ir instanceResult) {
 	s.Devices++

@@ -268,7 +268,7 @@ func (p *AdaptiveTimeout) Decide(obs slotsim.Observation) device.StateID {
 }
 
 // Observe adapts the timeout on sleep outcomes.
-func (p *AdaptiveTimeout) Observe(fb slotsim.Feedback) {
+func (p *AdaptiveTimeout) Observe(fb *slotsim.Feedback) {
 	// Entering deep sleep.
 	if p.sleepStart < 0 && fb.Action == p.r.deep && fb.Prev.Phase != p.r.deep {
 		p.sleepStart = fb.Prev.Slot
@@ -352,7 +352,7 @@ func (p *Predictive) Decide(obs slotsim.Observation) device.StateID {
 }
 
 // Observe tracks idle periods and updates the exponential average.
-func (p *Predictive) Observe(fb slotsim.Feedback) {
+func (p *Predictive) Observe(fb *slotsim.Feedback) {
 	busy := fb.Next.Queue > 0 || fb.Arrived > 0
 	switch {
 	case p.idleStart < 0 && !busy:

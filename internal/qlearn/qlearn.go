@@ -317,6 +317,15 @@ type Agent struct {
 	// Allocated once at construction (fixed size), so the update hot
 	// path stays allocation-free.
 	alphaMemo []float64
+
+	// touched journals the table indices written since the last Reset
+	// (duplicates allowed), so Reset restores only those entries instead
+	// of sweeping the whole table — a fleet instance touches a handful
+	// of pairs while the table holds hundreds. Once the journal reaches
+	// the sweep break-even it stops recording (dirtyAll) and Reset falls
+	// back to the full clear.
+	touched  []int32
+	dirtyAll bool
 }
 
 // alphaMemoSize bounds the memo: visit counts beyond it (rare pairs in
@@ -394,17 +403,32 @@ func NewAgent(cfg Config) (*Agent, error) {
 // episodes (one fleet instance per episode) use it to keep learner
 // turnover off the allocator.
 func (a *Agent) Reset() {
-	for i := range a.q {
-		a.q[i] = a.cfg.InitQ
-	}
-	if a.q2 != nil {
-		for i := range a.q2 {
-			a.q2[i] = a.cfg.InitQ
+	if a.dirtyAll {
+		for i := range a.q {
+			a.q[i] = a.cfg.InitQ
+		}
+		if a.q2 != nil {
+			for i := range a.q2 {
+				a.q2[i] = a.cfg.InitQ
+			}
+		}
+		for i := range a.visits {
+			a.visits[i] = 0
+		}
+	} else {
+		// Short episodes touch a handful of pairs; restoring just those
+		// yields the same table as the full sweep (every untouched entry
+		// still holds InitQ / zero visits).
+		for _, i := range a.touched {
+			a.q[i] = a.cfg.InitQ
+			if a.q2 != nil {
+				a.q2[i] = a.cfg.InitQ
+			}
+			a.visits[i] = 0
 		}
 	}
-	for i := range a.visits {
-		a.visits[i] = 0
-	}
+	a.touched = a.touched[:0]
+	a.dirtyAll = false
 	a.step = 0
 	a.updates = 0
 	if a.traces != nil {
@@ -413,6 +437,21 @@ func (a *Agent) Reset() {
 }
 
 func (a *Agent) idx(s, act int) int { return s*a.cfg.NumActions + act }
+
+// mark journals a table write for journaled Reset. Past the break-even
+// point a full-table clear is cheaper than replaying the journal, so
+// recording stops and dirtyAll routes Reset to the sweep.
+func (a *Agent) mark(i int) {
+	if a.dirtyAll {
+		return
+	}
+	if len(a.touched) >= len(a.q)/4+16 {
+		a.dirtyAll = true
+		a.touched = a.touched[:0]
+		return
+	}
+	a.touched = append(a.touched, int32(i))
+}
 
 // Q returns the current estimate for (s, act). For DoubleQ it returns the
 // average of the two tables (the quantity used for action selection).
@@ -428,6 +467,7 @@ func (a *Agent) Q(s, act int) float64 {
 // tests.
 func (a *Agent) SetQ(s, act int, v float64) {
 	i := a.idx(s, act)
+	a.mark(i)
 	a.q[i] = v
 	if a.q2 != nil {
 		a.q2[i] = v
@@ -514,6 +554,7 @@ func (a *Agent) Update(s, act int, reward float64, next int, legalNext []int, el
 		g = math.Pow(a.cfg.Gamma, float64(elapsed))
 	}
 	i := a.idx(s, act)
+	a.mark(i)
 	a.visits[i]++
 	alpha := a.alpha(a.visits[i])
 	a.updates++
@@ -568,6 +609,7 @@ func (a *Agent) UpdateSARSA(s, act int, reward float64, next, nextAct int, elaps
 		g = math.Pow(a.cfg.Gamma, float64(elapsed))
 	}
 	i := a.idx(s, act)
+	a.mark(i)
 	a.visits[i]++
 	alpha := a.alpha(a.visits[i])
 	a.updates++

@@ -1,0 +1,91 @@
+package rng
+
+// Tests for the bulk-fill API: FillUint64 and FillFloat64 must consume
+// the stream and produce values exactly as the equivalent sequence of
+// single draws would — the batched arrival path's bit-identity rests on
+// this equivalence.
+
+import "testing"
+
+func TestFillUint64MatchesSequential(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		a := New(12345)
+		b := New(12345)
+		want := make([]uint64, n)
+		for i := range want {
+			want[i] = a.Uint64()
+		}
+		got := make([]uint64, n)
+		b.FillUint64(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: FillUint64[%d] = %d, sequential %d", n, i, got[i], want[i])
+			}
+		}
+		if a.State() != b.State() {
+			t.Fatalf("n=%d: stream states diverged after fill", n)
+		}
+	}
+}
+
+func TestFillFloat64MatchesSequential(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 64, 513} {
+		a := New(6789)
+		b := New(6789)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = a.Float64()
+		}
+		got := make([]float64, n)
+		b.FillFloat64(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: FillFloat64[%d] = %v, sequential %v", n, i, got[i], want[i])
+			}
+		}
+		if a.State() != b.State() {
+			t.Fatalf("n=%d: stream states diverged after fill", n)
+		}
+	}
+}
+
+// TestFillResumesMidSequence: interleaving fills with single draws stays
+// on the one global sequence.
+func TestFillResumesMidSequence(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	var buf [16]float64
+	var seq []float64
+	b.FillFloat64(buf[:7])
+	seq = append(seq, buf[:7]...)
+	seq = append(seq, b.Float64())
+	b.FillFloat64(buf[:16])
+	seq = append(seq, buf[:16]...)
+	for i, v := range seq {
+		if w := a.Float64(); v != w {
+			t.Fatalf("draw %d: interleaved %v, sequential %v", i, v, w)
+		}
+	}
+}
+
+func BenchmarkFillUint64(b *testing.B) {
+	s := New(1)
+	buf := make([]uint64, 256)
+	b.SetBytes(int64(len(buf) * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.FillUint64(buf)
+	}
+}
+
+func BenchmarkFillFloat64(b *testing.B) {
+	s := New(1)
+	buf := make([]float64, 256)
+	b.SetBytes(int64(len(buf) * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.FillFloat64(buf)
+	}
+}

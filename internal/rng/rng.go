@@ -104,6 +104,44 @@ func (s *Stream) Uint64() uint64 {
 	return bits.RotateLeft64(s.hi^s.lo, -int(rot))
 }
 
+// FillUint64 fills dst with the next len(dst) values of the stream —
+// exactly the sequence len(dst) successive Uint64 calls would produce.
+// The LCG step and XSL-RR output function are inlined into one loop with
+// the state in registers, so bulk consumers (batched arrival sampling)
+// amortize the per-call state load/store that dominates single draws.
+func (s *Stream) FillUint64(dst []uint64) {
+	hi, lo := s.hi, s.lo
+	incHi, incLo := s.incHi, s.incLo
+	for i := range dst {
+		h, l := bits.Mul64(lo, mulLo)
+		h += hi*mulLo + lo*mulHi
+		l, c := bits.Add64(l, incLo, 0)
+		h += incHi + c
+		hi, lo = h, l
+		rot := uint(hi >> 58)
+		dst[i] = bits.RotateLeft64(hi^lo, -int(rot))
+	}
+	s.hi, s.lo = hi, lo
+}
+
+// FillFloat64 fills dst with uniform [0, 1) values — exactly the
+// sequence len(dst) successive Float64 calls would produce — via one
+// FillUint64 pass over dst's bits.
+func (s *Stream) FillFloat64(dst []float64) {
+	hi, lo := s.hi, s.lo
+	incHi, incLo := s.incHi, s.incLo
+	for i := range dst {
+		h, l := bits.Mul64(lo, mulLo)
+		h += hi*mulLo + lo*mulHi
+		l, c := bits.Add64(l, incLo, 0)
+		h += incHi + c
+		hi, lo = h, l
+		rot := uint(hi >> 58)
+		dst[i] = float64(bits.RotateLeft64(hi^lo, -int(rot))>>11) / (1 << 53)
+	}
+	s.hi, s.lo = hi, lo
+}
+
 // Split derives an independent child stream. The parent advances by one
 // draw; the child's sequence shares no state with the parent afterwards.
 func (s *Stream) Split() *Stream {

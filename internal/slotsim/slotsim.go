@@ -89,8 +89,11 @@ type Policy interface {
 type Learner interface {
 	Policy
 	// Observe delivers the slot outcome after every slot (including
-	// transition slots, where Action equals the transition target).
-	Observe(fb Feedback)
+	// transition slots, where Action equals the transition target). fb
+	// points into scratch the simulator reuses every slot: it is valid
+	// only for the duration of the call, and implementations must copy
+	// any fields they keep.
+	Observe(fb *Feedback)
 }
 
 // Config assembles a simulation.
@@ -240,7 +243,8 @@ type Sim struct {
 	idleSlots  int64
 	slot       int64
 	metrics    Metrics
-	learner    Learner // non-nil when cfg.Policy implements Learner
+	learner    Learner  // non-nil when cfg.Policy implements Learner
+	fb         Feedback // per-slot feedback scratch, rewritten every slot
 	idleSatCap int64
 }
 
@@ -418,7 +422,12 @@ func (s *Sim) step(rec *SlotRecord) {
 	}
 
 	if s.learner != nil {
-		s.learner.Observe(Feedback{
+		// Written into persistent scratch and passed by pointer: the
+		// feedback record is two embedded observations wide, and copying
+		// it down the learner call chain (adapter, manager) shows up in
+		// fleet profiles. Receivers must not retain the pointer (the
+		// Learner contract).
+		s.fb = Feedback{
 			Prev:    prev,
 			Action:  action,
 			Energy:  slotEnergy,
@@ -427,7 +436,8 @@ func (s *Sim) step(rec *SlotRecord) {
 			Arrived: arrived,
 			Lost:    lost,
 			Next:    s.Observe(),
-		})
+		}
+		s.learner.Observe(&s.fb)
 	}
 }
 

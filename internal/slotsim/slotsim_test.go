@@ -29,7 +29,7 @@ type recordingLearner struct {
 	fbs []Feedback
 }
 
-func (r *recordingLearner) Observe(fb Feedback) { r.fbs = append(r.fbs, fb) }
+func (r *recordingLearner) Observe(fb *Feedback) { r.fbs = append(r.fbs, *fb) }
 
 func synth() *device.Slotted {
 	s, err := device.Synthetic3().Slot(0.5)

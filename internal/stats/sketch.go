@@ -114,6 +114,12 @@ func (s *QuantileSketch) Add(x float64) {
 		return
 	}
 	k := s.key(x)
+	// In-range increment without the ensure call: after the range's
+	// high-water mark is reached every Add lands here.
+	if i := k - s.offset; uint(i) < uint(len(s.counts)) {
+		s.counts[i]++
+		return
+	}
 	s.ensure(k, k)
 	s.counts[k-s.offset]++
 }
@@ -176,10 +182,39 @@ func (s *QuantileSketch) Merge(o *QuantileSketch) {
 	}
 	s.n += o.n
 	s.zero += o.zero
-	if len(o.counts) > 0 {
-		s.ensure(o.offset, o.offset+len(o.counts)-1)
-		mergeCounts(s.counts[o.offset-s.offset:], o.counts)
+	// Fold only o's nonzero span. A reset-then-reused sketch keeps its
+	// widest-ever bin array (see Reset), so growing s to o's full extent
+	// would make s's bin layout depend on o's reuse history — and with
+	// pooled shard summaries, on worker scheduling. Trimming keeps the
+	// merged layout a pure function of the observations.
+	lo, hi := 0, len(o.counts)-1
+	for lo <= hi && o.counts[lo] == 0 {
+		lo++
 	}
+	for hi >= lo && o.counts[hi] == 0 {
+		hi--
+	}
+	if lo <= hi {
+		s.ensure(o.offset+lo, o.offset+hi)
+		mergeCounts(s.counts[o.offset+lo-s.offset:], o.counts[lo:hi+1])
+	}
+}
+
+// Reset returns the sketch to its freshly constructed state — no
+// observations — while keeping the bin array at capacity (zeroed in
+// place) and its key offset. A reset sketch's observable behavior is
+// bit-identical to a fresh one's: quantiles, merges, and adds depend
+// only on the nonzero bin counts and the exact min/max/n header, never
+// on the bin array's extent, so pooled shard summaries can recycle
+// sketches without perturbing any downstream number.
+func (s *QuantileSketch) Reset() {
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	s.zero = 0
+	s.n = 0
+	s.min = 0
+	s.max = 0
 }
 
 // Clone returns an independent deep copy.

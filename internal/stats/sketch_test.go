@@ -226,6 +226,63 @@ func TestSketchAddSteadyStateAllocationFree(t *testing.T) {
 	}
 }
 
+// TestSketchResetBehavesFresh: a reset sketch refilled with new
+// observations is observably bit-identical to a freshly constructed one
+// over the same observations — quantiles at every level, min/max/n, and
+// merge behavior — even though Reset keeps the old bin array (zeroed)
+// and its key offset. This is the contract the fleet shard-summary pool
+// relies on.
+func TestSketchResetBehavesFresh(t *testing.T) {
+	stream := rng.New(11)
+	recycled, err := NewQuantileSketch(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First life: a wide value range, so the retained bin array extends
+	// well past what the second life needs.
+	for i := 0; i < 500; i++ {
+		recycled.Add(math.Exp(stream.NormFloat64() * 4))
+	}
+	recycled.Reset()
+	if recycled.N() != 0 || recycled.Min() != 0 || recycled.Max() != 0 {
+		t.Fatalf("reset sketch not empty: n=%d min=%v max=%v", recycled.N(), recycled.Min(), recycled.Max())
+	}
+	second := make([]float64, 300)
+	for i := range second {
+		second[i] = math.Exp(stream.NormFloat64())
+	}
+	second[0], second[1] = 0, MinTracked // exercise the zero bin too
+	fresh := sketchOf(t, 0.01, second)
+	for _, x := range second {
+		recycled.Add(x)
+	}
+	if recycled.N() != fresh.N() || recycled.Min() != fresh.Min() || recycled.Max() != fresh.Max() {
+		t.Fatalf("header mismatch: recycled (n=%d min=%v max=%v) vs fresh (n=%d min=%v max=%v)",
+			recycled.N(), recycled.Min(), recycled.Max(), fresh.N(), fresh.Min(), fresh.Max())
+	}
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		a, errA := recycled.Quantile(q)
+		b, errB := fresh.Quantile(q)
+		if (errA == nil) != (errB == nil) || a != b {
+			t.Fatalf("q=%v: recycled %v (%v) vs fresh %v (%v)", q, a, errA, b, errB)
+		}
+	}
+	// Merging the recycled sketch into a target matches merging the
+	// fresh one — the reset sketch's wider (zeroed) bin range must not
+	// change any downstream number.
+	tgtA := sketchOf(t, 0.01, []float64{0.5, 2.5, 9})
+	tgtB := tgtA.Clone()
+	tgtA.Merge(recycled)
+	tgtB.Merge(fresh)
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		a, _ := tgtA.Quantile(q)
+		b, _ := tgtB.Quantile(q)
+		if a != b {
+			t.Fatalf("merge target q=%v: via recycled %v, via fresh %v", q, a, b)
+		}
+	}
+}
+
 // TestSketchCloneIndependent: Clone produces a deep copy.
 func TestSketchCloneIndependent(t *testing.T) {
 	s := sketchOf(t, 0.01, []float64{1, 2, 3})

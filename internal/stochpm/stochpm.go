@@ -429,7 +429,7 @@ func (a *Adaptive) Decide(obs slotsim.Observation) device.StateID {
 // Observe feeds the estimator and detector; on an alarm it schedules a
 // re-solve that lands OptimizeLatencySlots later (modelling optimization
 // wall-clock on the managed node).
-func (a *Adaptive) Observe(fb slotsim.Feedback) {
+func (a *Adaptive) Observe(fb *slotsim.Feedback) {
 	a.slot = fb.Next.Slot
 	a.est.Add(fb.Arrived)
 	if a.det.Add(fb.Arrived) {
