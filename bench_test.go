@@ -391,13 +391,17 @@ func benchBernoulli(p float64) func() workload.Arrivals {
 // (one reusable simulator per worker) is host-independent and the CI
 // regression gate can compare it against the recorded baseline.
 func benchFleet(b *testing.B, devices int, horizon float64, mode fleet.Mode) {
-	spec := fleet.Spec{
+	benchFleetSpec(b, fleet.Spec{
 		Devices: devices,
 		Classes: fleet.DefaultMix(),
 		Mode:    mode,
 		Horizon: horizon,
 		Seed:    11,
-	}
+	})
+}
+
+func benchFleetSpec(b *testing.B, spec fleet.Spec) {
+	devices := spec.Devices
 	pool := &engine.Pool{Workers: 4}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -435,3 +439,20 @@ func BenchmarkFleet1kSlot(b *testing.B) { benchFleet(b, 1000, 64, fleet.ModeSlot
 // stays bounded because shard summaries fold as they complete and wait
 // percentiles live in the mergeable sketch.
 func BenchmarkFleet1MCT(b *testing.B) { benchFleet(b, 1_000_000, 4, fleet.ModeCT) }
+
+// BenchmarkFleetCoupled10kCT: the acceptance-scale fleet with coupling
+// on — groups of 8 share one kernel and contend for a single-occupancy
+// channel. One op = one full coupled fleet; the delta against
+// BenchmarkFleet10kCT is the whole cost of the shared-clock group loop
+// (lane multiplexing + resource arbitration + interference accounting).
+func BenchmarkFleetCoupled10kCT(b *testing.B) {
+	benchFleetSpec(b, fleet.Spec{
+		Devices:    10000,
+		Classes:    fleet.DefaultMix(),
+		Mode:       fleet.ModeCT,
+		Horizon:    64,
+		Seed:       11,
+		Couple:     fleet.CoupleChannel,
+		CoupleSize: 8,
+	})
+}

@@ -10,6 +10,7 @@
 //	qdpm-bench -exp ablate   # design-choice ablations
 //	qdpm-bench -exp ct       # Table CT — continuous-time renewal workloads
 //	qdpm-bench -exp fleet    # Table Fleet — heterogeneous multi-device fleet
+//	qdpm-bench -exp coupled  # Table Coupled Fleet — policies under contention
 //	qdpm-bench -exp all      # everything
 //
 // -quick shrinks run lengths ~5x for a fast smoke pass. -parallel sets
@@ -41,7 +42,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1|fig2|r1|r2|r3|r4|ablate|ct|fleet|all")
+	exp := flag.String("exp", "all", "experiment: fig1|fig2|r1|r2|r3|r4|ablate|ct|fleet|coupled|all")
 	quick := flag.Bool("quick", false, "shrink run lengths ~5x")
 	parallel := flag.Int("parallel", 0, "replica worker-pool size (0 = GOMAXPROCS, 1 = serial)")
 	seed := flag.Uint64("seed", 0, "derive replica seeds from this base (0 = canonical seeds)")
@@ -241,6 +242,27 @@ func main() {
 			}
 			seeds = reseed(seeds, 8)
 			tab, err := experiment.TableFleetCtx(ctx, devices, horizon, fleet.ModeCT, seeds, par)
+			if err != nil {
+				return err
+			}
+			experiment.RenderTable(os.Stdout, tab.Title, tab.Headers, tab.Rows)
+			fmt.Printf("# %s\n", tab.Note)
+			return nil
+		})
+	}
+	if want("coupled") {
+		matched = true
+		run("coupled", func() error {
+			devices, horizon := 512, 240.0
+			sizes := []int{1, 8, 32}
+			seeds := []uint64{41, 42}
+			if *quick {
+				devices, horizon = 128, 120
+				sizes = []int{1, 8}
+				seeds = seeds[:1]
+			}
+			seeds = reseed(seeds, 9)
+			tab, err := experiment.TableCoupledFleetCtx(ctx, devices, horizon, fleet.CoupleChannel, sizes, seeds, par)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunUncoupledMatchesPR6Golden pins the "coupling off ≡ pre-refactor
+// output" contract: with no -couple and no -kernel override, stdout is
+// byte-identical to the output the PR 6 binary produced for the same
+// flags (testdata goldens captured from that build). This is what
+// licenses the multi-layer refactor — the injected-kernel constructors,
+// the resource hook, and the summary's interference fields must all be
+// invisible until coupling is switched on.
+func TestRunUncoupledMatchesPR6Golden(t *testing.T) {
+	cases := []struct {
+		golden string
+		args   []string
+	}{
+		{"golden_pr6_ct2k.txt", []string{"-devices", "2000", "-mode", "ct", "-horizon", "120", "-seed", "1"}},
+		{"golden_pr6_slot500.txt", []string{"-devices", "500", "-mode", "slot", "-horizon", "120", "-seed", "1"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.golden, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out bytes.Buffer
+			if err := run(context.Background(), &out, tc.args); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Fatalf("uncoupled output drifted from the PR 6 golden %s:\n--- got ---\n%s\n--- want ---\n%s",
+					tc.golden, out.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestRunCoupledDeterministicAcrossPools: the coupled CLI surface is
+// bit-identical between serial and pooled runs for every shared
+// resource — the acceptance-criteria diff, at test scale.
+func TestRunCoupledDeterministicAcrossPools(t *testing.T) {
+	for _, couple := range []string{"channel", "gateway", "power"} {
+		t.Run(couple, func(t *testing.T) {
+			base := []string{"-devices", "60", "-horizon", "40", "-seed", "5",
+				"-couple", couple, "-couple-size", "4", "-shard", "12"}
+			var serial, pooled bytes.Buffer
+			if err := run(context.Background(), &serial, append(base, "-parallel", "1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := run(context.Background(), &pooled, append(base, "-parallel", "4")); err != nil {
+				t.Fatal(err)
+			}
+			if serial.String() != pooled.String() {
+				t.Fatalf("coupled output differs between -parallel 1 and 4:\n%s\nvs\n%s", serial.String(), pooled.String())
+			}
+		})
+	}
+}
+
+// TestRunKernelFlagOutputIdentity: -kernel calendar produces stdout
+// byte-identical to the default heap backing (the two kernels fire in
+// the same (time, seq) order), uncoupled and coupled; bogus kinds are
+// rejected.
+func TestRunKernelFlagOutputIdentity(t *testing.T) {
+	cases := map[string][]string{
+		"uncoupled": {"-devices", "80", "-horizon", "40", "-seed", "5"},
+		"coupled":   {"-devices", "80", "-horizon", "40", "-seed", "5", "-couple", "channel"},
+	}
+	for name, base := range cases {
+		t.Run(name, func(t *testing.T) {
+			var heap, cal bytes.Buffer
+			if err := run(context.Background(), &heap, append(base, "-kernel", "heap")); err != nil {
+				t.Fatal(err)
+			}
+			if err := run(context.Background(), &cal, append(base, "-kernel", "calendar")); err != nil {
+				t.Fatal(err)
+			}
+			if heap.String() != cal.String() {
+				t.Fatalf("output differs across -kernel kinds:\n%s\nvs\n%s", heap.String(), cal.String())
+			}
+		})
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, []string{"-devices", "10", "-kernel", "splay"}); err == nil {
+		t.Fatal("bogus -kernel accepted")
+	}
+}
+
+// TestRunCoupledJSONReport: the coupled -json report carries the
+// coupling echo and interference blocks, fleet-level and per group;
+// uncoupled JSON omits them entirely (the omitempty contract keeping
+// pre-coupling reports byte-identical).
+func TestRunCoupledJSONReport(t *testing.T) {
+	var coupled, plain bytes.Buffer
+	base := []string{"-devices", "60", "-horizon", "60", "-seed", "5", "-json"}
+	if err := run(context.Background(), &coupled, append(base, "-couple", "channel", "-couple-size", "4", "-shard", "12")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), &plain, base); err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(coupled.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, coupled.String())
+	}
+	if rep.Couple != "channel" || rep.CoupleSize != 4 {
+		t.Fatalf("coupling echo wrong: %+v", rep)
+	}
+	if rep.Interference == nil || !(rep.Interference.ResourceWaitMeanSec > 0) {
+		t.Fatalf("fleet interference block missing or empty: %+v", rep.Interference)
+	}
+	for _, g := range append(rep.Classes, rep.Policies...) {
+		if g.Interference == nil {
+			t.Fatalf("group %s lacks an interference block", g.Name)
+		}
+	}
+	if bytes.Contains(plain.Bytes(), []byte("interference")) || bytes.Contains(plain.Bytes(), []byte("couple")) {
+		t.Fatalf("uncoupled JSON leaks coupling fields:\n%s", plain.String())
+	}
+	// Bad coupling flags are startup errors.
+	for _, args := range [][]string{
+		{"-devices", "10", "-couple", "mesh"},
+		{"-devices", "10", "-couple", "channel", "-mode", "slot"},
+		{"-devices", "10", "-couple-size", "4"},
+	} {
+		var out bytes.Buffer
+		if err := run(context.Background(), &out, args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -11,6 +11,17 @@
 //	qdpm-fleet -devices 1000000 -progress          # million-device run,
 //	                                               # periodic devices/s
 //	qdpm-fleet -devices 2000 -quantiles exact      # exact order statistics
+//	qdpm-fleet -devices 10000 -couple channel -couple-size 8
+//	                                               # groups of 8 sharing one
+//	                                               # clock and channel
+//	qdpm-fleet -devices 10000 -kernel calendar     # calendar-queue backing
+//
+// Coupled mode (-couple channel|gateway|power) advances groups of
+// -couple-size consecutive instances on one shared event kernel with a
+// shared resource arbitrating service starts and power commands, and
+// adds per-class cross-device interference metrics (contention wait,
+// gateway drops, budget denials) to the report. Uncoupled output is
+// byte-identical to earlier releases, coupled or not -parallel.
 //
 // Wait percentiles default to the mergeable log-binned sketch (1%
 // relative error, memory independent of the device count — the setting
@@ -61,7 +72,12 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		period   = fs.Float64("period", 0, "governor tick / slot duration in seconds (0 = canonical 0.5)")
 		queueCap = fs.Int("qcap", 0, "queue capacity per instance (0 = canonical 8)")
 		latW     = fs.Float64("latw", 0, "latency weight in J per request-slot (0 = canonical 0.3)")
-		shard    = fs.Int("shard", 0, "instances per pool job (0 = default 128)")
+		shard    = fs.Int("shard", 0, "instances per pool job (0 = default 128; coupled runs round the default up to a -couple-size multiple)")
+		kernel   = fs.String("kernel", "heap", "CT event-queue backing: heap or calendar (output is bit-identical across both)")
+		couple   = fs.String("couple", "", "coupled mode's shared resource: channel, gateway, or power (default: uncoupled independent instances; CT mode only)")
+		coupleK  = fs.Int("couple-size", 0, "instances per coupled group sharing one kernel and resource (0 = default 8 when -couple is set)")
+		budgetF  = fs.Float64("budget-frac", 0, "power-budget cap as a fraction of each group's summed always-on power (0 = default 0.5; -couple power only)")
+		gateWait = fs.Int("gateway-wait", 0, "gateway wait-room bound (0 = default 2; -couple gateway only)")
 		seed     = fs.Uint64("seed", 1, "base seed; replica seeds derive from it")
 		replicas = fs.Int("replicas", 1, "independent fleet replications to pool")
 		parallel = fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS, 1 = serial)")
@@ -128,6 +144,11 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 			LatencyWeight: *latW,
 			ShardSize:     *shard,
 			Quantiles:     fleet.QuantileMode(*quant),
+			Kernel:        fleet.KernelKind(*kernel),
+			Couple:        fleet.CoupleMode(*couple),
+			CoupleSize:    *coupleK,
+			BudgetFrac:    *budgetF,
+			GatewayWait:   *gateWait,
 		},
 	}
 	par := experiment.Parallel{Workers: *parallel}
@@ -201,34 +222,52 @@ type jsonGroup struct {
 	EnergyReduction float64 `json:"energy_reduction"`
 	MeanWaitSec     float64 `json:"mean_wait_sec"`
 	LossRate        float64 `json:"loss_rate"`
+	// Interference is present only on coupled runs, keeping uncoupled
+	// JSON byte-identical to the pre-coupling report.
+	Interference *jsonInterference `json:"interference,omitempty"`
+}
+
+// jsonInterference carries the coupled-mode cross-device interference
+// metrics of one aggregate (or of the whole fleet).
+type jsonInterference struct {
+	ResourceWaitMeanSec float64 `json:"resource_wait_mean_sec"`
+	ResourceDrops       int64   `json:"resource_drops"`
+	BudgetDenied        int64   `json:"budget_denied"`
 }
 
 // jsonReport is the machine-readable fleet report.
 type jsonReport struct {
-	Mode        string      `json:"mode"`
-	Quantiles   string      `json:"quantiles"`
-	Devices     int64       `json:"devices"`
-	Replicas    int         `json:"replicas"`
-	HorizonSec  float64     `json:"horizon_sec"`
-	Shards      int         `json:"shards"`
-	EnergyJ     float64     `json:"energy_j"`
-	PowerW      float64     `json:"power_w"`
-	Arrived     int64       `json:"arrived"`
-	Served      int64       `json:"served"`
-	Lost        int64       `json:"lost"`
-	Events      uint64      `json:"events"`
-	LossOverall float64     `json:"loss_overall"`
-	MeanWaitSec float64     `json:"mean_wait_sec"`
-	WaitP50Sec  float64     `json:"wait_p50_sec"`
-	WaitP90Sec  float64     `json:"wait_p90_sec"`
-	WaitP99Sec  float64     `json:"wait_p99_sec"`
-	Classes     []jsonGroup `json:"classes"`
-	Policies    []jsonGroup `json:"policies"`
+	Mode        string  `json:"mode"`
+	Quantiles   string  `json:"quantiles"`
+	Devices     int64   `json:"devices"`
+	Replicas    int     `json:"replicas"`
+	HorizonSec  float64 `json:"horizon_sec"`
+	Shards      int     `json:"shards"`
+	EnergyJ     float64 `json:"energy_j"`
+	PowerW      float64 `json:"power_w"`
+	Arrived     int64   `json:"arrived"`
+	Served      int64   `json:"served"`
+	Lost        int64   `json:"lost"`
+	Events      uint64  `json:"events"`
+	LossOverall float64 `json:"loss_overall"`
+	MeanWaitSec float64 `json:"mean_wait_sec"`
+	WaitP50Sec  float64 `json:"wait_p50_sec"`
+	WaitP90Sec  float64 `json:"wait_p90_sec"`
+	WaitP99Sec  float64 `json:"wait_p99_sec"`
+	// Couple, CoupleSize, and Interference appear only on coupled runs
+	// (-couple), keeping uncoupled JSON byte-identical to the
+	// pre-coupling report.
+	Couple       string            `json:"couple,omitempty"`
+	CoupleSize   int               `json:"couple_size,omitempty"`
+	Interference *jsonInterference `json:"interference,omitempty"`
+	Classes      []jsonGroup       `json:"classes"`
+	Policies     []jsonGroup       `json:"policies"`
 }
 
-// group flattens a ClassStats for JSON.
-func group(c *fleet.ClassStats) jsonGroup {
-	return jsonGroup{
+// group flattens a ClassStats for JSON; coupled runs attach the
+// interference block.
+func group(c *fleet.ClassStats, coupled bool) jsonGroup {
+	g := jsonGroup{
 		Name:            c.Name,
 		Policy:          c.Policy,
 		Instances:       c.Instances,
@@ -238,6 +277,14 @@ func group(c *fleet.ClassStats) jsonGroup {
 		MeanWaitSec:     c.MeanWaitSec.Mean(),
 		LossRate:        c.LossRate.Mean(),
 	}
+	if coupled {
+		g.Interference = &jsonInterference{
+			ResourceWaitMeanSec: c.ResourceWaitSec.Mean(),
+			ResourceDrops:       c.ResourceDrops,
+			BudgetDenied:        c.BudgetDenied,
+		}
+	}
+	return g
 }
 
 // writeJSON emits the report; percentile computation is the only
@@ -275,12 +322,22 @@ func writeJSON(w io.Writer, sum *experiment.FleetSummary, quant fleet.QuantileMo
 		WaitP90Sec:  p90,
 		WaitP99Sec:  p99,
 	}
+	coupled := sum.Fleet.Couple != fleet.CoupleNone
+	if coupled {
+		rep.Couple = string(sum.Fleet.Couple)
+		rep.CoupleSize = sum.Fleet.CoupleSize
+		rep.Interference = &jsonInterference{
+			ResourceWaitMeanSec: sum.Fleet.ResourceWaitSec.Mean(),
+			ResourceDrops:       sum.Fleet.ResourceDrops,
+			BudgetDenied:        sum.Fleet.BudgetDenied,
+		}
+	}
 	for i := range sum.Fleet.Classes {
-		rep.Classes = append(rep.Classes, group(&sum.Fleet.Classes[i]))
+		rep.Classes = append(rep.Classes, group(&sum.Fleet.Classes[i], coupled))
 	}
 	perPol := sum.Fleet.PerPolicy()
 	for i := range perPol {
-		rep.Policies = append(rep.Policies, group(&perPol[i]))
+		rep.Policies = append(rep.Policies, group(&perPol[i], coupled))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -81,6 +81,14 @@ type Config struct {
 	// seconds (default Device.ServiceTime). Ignored in slot-compatible
 	// mode.
 	ServiceTime float64
+	// Resource, when non-nil, arbitrates shared capacity with the other
+	// instances scheduling against the same kernel (see NewShared):
+	// service starts go through Resource.RequestService and commanded
+	// state changes through Resource.AllowTransition. Requires
+	// sequential service (incompatible with SlotCompatible, whose
+	// batched ticks bypass the service-start hook). nil disables
+	// arbitration — the uncoupled path makes no hook calls at all.
+	Resource Resource
 }
 
 // Validate checks the configuration and fills its defaults in place.
@@ -118,6 +126,9 @@ func (c *Config) validate() error {
 	}
 	if c.SlotCompatible && c.DecisionPeriod == 0 {
 		return fmt.Errorf("ctsim: slot-compatible service requires a decision period")
+	}
+	if c.Resource != nil && c.SlotCompatible {
+		return fmt.Errorf("ctsim: a shared resource requires sequential service (slot-compatible batching bypasses the service-start hook)")
 	}
 	if c.ServiceTime == 0 {
 		c.ServiceTime = c.Device.ServiceTime
@@ -205,6 +216,17 @@ type Metrics struct {
 	Commands, Clamped int64
 	// Decisions counts policy consultations.
 	Decisions int64
+	// ResourceWaitSec is the cumulative time spent queued for the
+	// shared Resource before service could start — the cross-device
+	// contention wait. Zero without a Resource.
+	ResourceWaitSec float64
+	// ResourceDrops counts service requests the Resource rejected with
+	// a Drop verdict; each drop also counts in Lost.
+	ResourceDrops int64
+	// BudgetDenied counts commanded state changes the Resource vetoed
+	// via AllowTransition (budget-denied transitions). Denied commands
+	// are not counted in Commands or Clamped.
+	BudgetDenied int64
 }
 
 // AvgPowerW returns the mean power in watts.
@@ -292,6 +314,16 @@ type Sim struct {
 	serving bool
 	serveEv eventq.Ref
 
+	// Shared-resource arbitration (cfg.Resource != nil).
+	resWaiting bool    // queued in the resource's FIFO wait queue
+	resHeld    bool    // holding a grant (serving through the resource)
+	resReqAt   float64 // time the outstanding request was queued
+
+	// kernelShared marks a simulator built by NewShared: the kernel's
+	// lifecycle (Reset, Run) belongs to the coupled-group driver, so
+	// apply must not reset it — other instances' events live there.
+	kernelShared bool
+
 	// Policy wake timer (event-driven mode).
 	wakeEv eventq.Ref
 
@@ -313,9 +345,39 @@ type Sim struct {
 }
 
 // New validates cfg and returns a simulator with its initial events (the
-// first arrival and the first decision) scheduled at the kernel.
+// first arrival and the first decision) scheduled at a private 4-ary
+// heap kernel.
 func New(cfg Config) (*Sim, error) {
-	s := &Sim{k: eventq.New(), hardHorizon: math.Inf(1)}
+	return NewWithKernel(eventq.New(), cfg)
+}
+
+// NewWithKernel is New on a caller-supplied kernel, which the simulator
+// then owns exclusively — Reset and ResetValidated reset it like New's
+// private one. Use it to pick a kernel backing (eventq.NewCalendar for
+// the calendar queue); the two backings fire in the identical (time,
+// seq) order, so output is bit-identical either way. The kernel must be
+// empty with its clock at 0 (freshly built or Reset).
+func NewWithKernel(k *eventq.Kernel, cfg Config) (*Sim, error) {
+	return newSim(k, false, cfg)
+}
+
+// NewShared builds a simulator whose event handlers schedule against a
+// kernel SHARED with other instances: all members advance on the one
+// clock, their event streams interleaved deterministically by (time,
+// seq) — the coupled-fleet substrate. The caller owns the kernel's
+// lifecycle: Reset it once per coupled run before building or
+// (Re)setting the member sims (each applies its initial events at time
+// 0, in call order, which fixes the FIFO tie-break among members), then
+// drive it directly with Kernel.Run; do not call a member's Run, which
+// would advance every member. Reset and ResetValidated on a shared-
+// kernel sim reset the sim only, never the kernel.
+func NewShared(k *eventq.Kernel, cfg Config) (*Sim, error) {
+	return newSim(k, true, cfg)
+}
+
+// newSim binds the pre-bound handlers and applies cfg against k.
+func newSim(k *eventq.Kernel, shared bool, cfg Config) (*Sim, error) {
+	s := &Sim{k: k, kernelShared: shared, hardHorizon: math.Inf(1)}
 	s.hArrival = s.onArrival
 	s.hTick = s.tick
 	s.hDecision = s.decisionPoint
@@ -354,7 +416,9 @@ func (s *Sim) init(cfg Config) error {
 // schedules the initial events.
 func (s *Sim) apply(cfg Config) error {
 	s.cfg = cfg
-	s.k.Reset()
+	if !s.kernelShared {
+		s.k.Reset()
+	}
 	if s.q == nil {
 		s.q = newTimedQueue(cfg.QueueCap)
 	} else {
@@ -382,6 +446,9 @@ func (s *Sim) apply(cfg Config) error {
 	s.lastAction = cfg.InitialState
 	s.serving = false
 	s.serveEv = eventq.Ref{}
+	s.resWaiting = false
+	s.resHeld = false
+	s.resReqAt = 0
 	s.wakeEv = eventq.Ref{}
 	s.haveEpoch = false
 	s.epochObs = Observation{}
@@ -517,7 +584,13 @@ func (s *Sim) MetricsInto(out *Metrics) {
 // simulator's internal metrics accumulator. The view ALIASES live
 // simulator state: it is valid only until the next Run, Reset, or
 // ResetValidated, and callers must not mutate it or retain it (or its
-// StateTime slice) beyond that window. It is the zero-copy finalize
+// StateTime slice) beyond that window. In particular, a pooled
+// simulator that runs instances back to back (the fleet worker
+// pattern) OVERWRITES the view in place on the next instance's reset —
+// a view captured for instance A silently becomes instance B's
+// numbers, so copy out every field you fold before the next
+// ResetValidated (TestMetricsViewClobberedByNextPooledInstance pins
+// both halves of this contract). It is the zero-copy finalize
 // path for callers that drain many short instances through one reused
 // Sim and read a handful of scalars per instance — the fleet shard
 // loop — where MetricsInto's snapshot copy is measurable. Use Metrics
@@ -630,14 +703,51 @@ func (s *Sim) onArrival(now float64) {
 
 // maybeStartService begins serving the queue head when the device is
 // settled in a servicing state and no request is in flight. No-op in
-// slot-compatible mode, where service happens in batches at ticks.
+// slot-compatible mode, where service happens in batches at ticks, and
+// while a shared-resource request is queued (the grant callback starts
+// the service). With a Resource, the start is arbitrated first: Wait
+// parks the instance in the resource's FIFO queue, Drop sheds the head
+// request.
 func (s *Sim) maybeStartService(now float64) {
-	if s.cfg.SlotCompatible || s.serving || s.transInProg || s.q.Len() == 0 {
+	if s.cfg.SlotCompatible || s.serving || s.transInProg || s.resWaiting || s.q.Len() == 0 {
 		return
 	}
 	if !s.cfg.Device.States[s.phase].CanService {
 		return
 	}
+	if r := s.cfg.Resource; r != nil {
+		switch r.RequestService(now, s) {
+		case Wait:
+			s.resWaiting = true
+			s.resReqAt = now
+			return
+		case Drop:
+			// The head request is shed at the gate: it counts as lost
+			// (it arrived, it will never be served) and as a resource
+			// drop. The instance retries no earlier than its next state
+			// change, so a saturated gateway sheds at most one request
+			// per triggering event.
+			s.accrueBacklog(now)
+			s.q.Pop()
+			s.metrics.Lost++
+			s.metrics.ResourceDrops++
+			return
+		}
+		s.resHeld = true
+	}
+	s.serving = true
+	s.serveEv, _ = s.k.After(s.cfg.ServiceTime, s.hServeDone)
+}
+
+// ResourceGranted implements ResourceClient: a deferred service grant
+// arrives from the shared resource's FIFO queue. The invariant that the
+// instance is still settled in a servicing state with a nonempty queue
+// holds because any transition away cancels the wait (abortService) and
+// queued requests only leave through service or request-time drops.
+func (s *Sim) ResourceGranted(now float64) {
+	s.resWaiting = false
+	s.metrics.ResourceWaitSec += now - s.resReqAt
+	s.resHeld = true
 	s.serving = true
 	s.serveEv, _ = s.k.After(s.cfg.ServiceTime, s.hServeDone)
 }
@@ -645,6 +755,14 @@ func (s *Sim) maybeStartService(now float64) {
 func (s *Sim) onServeDone(now float64) {
 	s.serving = false
 	s.serveEv = eventq.Ref{}
+	if s.resHeld {
+		// Release before popping: the release may synchronously grant
+		// the head waiter (another sim on the shared kernel), and a
+		// re-request below queues FIFO behind it — deterministic,
+		// starvation-free ordering.
+		s.resHeld = false
+		s.cfg.Resource.ReleaseService(now, s)
+	}
 	s.accrueBacklog(now)
 	stamp := s.q.Pop()
 	s.metrics.Served++
@@ -657,14 +775,26 @@ func (s *Sim) onServeDone(now float64) {
 
 // abortService cancels an in-flight request when the device leaves its
 // service state; the request stays at the queue head (its wait continues)
-// and restarts from scratch when service resumes.
+// and restarts from scratch when service resumes. A held resource grant
+// is released and a queued resource wait withdrawn (its elapsed time
+// still counts as contention).
 func (s *Sim) abortService() {
+	if s.resWaiting {
+		now := s.k.Now()
+		s.cfg.Resource.CancelWait(now, s)
+		s.metrics.ResourceWaitSec += now - s.resReqAt
+		s.resWaiting = false
+	}
 	if !s.serving {
 		return
 	}
 	s.k.Cancel(s.serveEv)
 	s.serving = false
 	s.serveEv = eventq.Ref{}
+	if s.resHeld {
+		s.resHeld = false
+		s.cfg.Resource.ReleaseService(s.k.Now(), s)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -804,25 +934,15 @@ func (s *Sim) decide(now float64, obs Observation) {
 	dev := s.cfg.Device
 	if target != s.phase {
 		if int(target) >= 0 && int(target) < dev.NumStates() && dev.Trans[s.phase][target].Latency >= 0 {
-			tr := dev.Trans[s.phase][target]
-			s.metrics.Commands++
-			s.lastAction = target
-			if tr.Latency == 0 {
-				// Instant switch: full transition energy at the switch.
-				s.metrics.EnergyJ += tr.Energy
-				s.phase = target
-				s.transTarget = target
-				s.settledAt = now
-				if !dev.States[target].CanService {
-					s.abortService()
-				}
+			if r := s.cfg.Resource; r != nil &&
+				!r.AllowTransition(now, s, dev.States[target].Power-dev.States[s.phase].Power) {
+				// Budget-denied: the device stays put this interval and
+				// the policy retries at its next decision point. Falls
+				// through to the wake-timer logic below like any other
+				// decision.
+				s.metrics.BudgetDenied++
 			} else {
-				s.abortService()
-				s.transInProg = true
-				s.transTarget = target
-				s.transEnd = now + tr.Latency
-				s.transPower = tr.Energy / tr.Latency
-				s.k.Schedule(s.transEnd, s.hTransDone)
+				s.execTransition(now, target)
 			}
 		} else {
 			s.metrics.Clamped++
@@ -846,6 +966,33 @@ func (s *Sim) decide(now float64, obs Observation) {
 			t = math.Nextafter(now, math.Inf(1))
 		}
 		s.wakeEv, _ = s.k.Schedule(t, s.hWake)
+	}
+}
+
+// execTransition performs an admitted state-change command: instant
+// switches charge their full energy at the switch, latent ones start
+// the transition clock.
+func (s *Sim) execTransition(now float64, target device.StateID) {
+	dev := s.cfg.Device
+	tr := dev.Trans[s.phase][target]
+	s.metrics.Commands++
+	s.lastAction = target
+	if tr.Latency == 0 {
+		// Instant switch: full transition energy at the switch.
+		s.metrics.EnergyJ += tr.Energy
+		s.phase = target
+		s.transTarget = target
+		s.settledAt = now
+		if !dev.States[target].CanService {
+			s.abortService()
+		}
+	} else {
+		s.abortService()
+		s.transInProg = true
+		s.transTarget = target
+		s.transEnd = now + tr.Latency
+		s.transPower = tr.Energy / tr.Latency
+		s.k.Schedule(s.transEnd, s.hTransDone)
 	}
 }
 

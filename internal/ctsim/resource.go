@@ -1,0 +1,74 @@
+// Shared-resource arbitration: the hook through which instances that
+// share one event kernel (the coupled-fleet shard loop) contend for
+// media the paper's power-managed devices share in real deployments — a
+// WLAN cell's channel, a gateway's bounded queue, a node-level power
+// budget. See internal/shared for the concrete resources.
+package ctsim
+
+// Verdict is a Resource's answer to a service-start request.
+type Verdict int
+
+const (
+	// Grant admits the service immediately. The instance owes exactly
+	// one ReleaseService when the service completes or aborts.
+	Grant Verdict = iota
+	// Wait queues the requester in the resource's FIFO wait queue; the
+	// resource grants it later by calling ResourceGranted on the
+	// requester (at which point the grantee owes the ReleaseService).
+	// While waiting, the instance does not serve and its queued
+	// requests keep accruing wait — the cross-device contention the
+	// coupled mode exists to measure.
+	Wait
+	// Drop rejects the request outright: the instance drops the request
+	// at its queue head (counted in both Metrics.Lost and
+	// Metrics.ResourceDrops) and retries no earlier than its next state
+	// change. Bounded-gateway semantics.
+	Drop
+)
+
+// Resource arbitrates shared capacity among the simulation instances
+// that schedule against one kernel. Implementations must be
+// deterministic — grants follow FIFO request order, and every callback
+// runs synchronously on the shared event loop — so a coupled run is a
+// pure function of the spec, preserving the repository determinism
+// contract. A nil Config.Resource disables arbitration entirely (the
+// uncoupled fast path: no hook call is made).
+//
+// The simulator invokes the hooks at service start (RequestService),
+// service completion or abort (ReleaseService), on leaving a service
+// state while queued (CancelWait), and on every commanded power-state
+// change (AllowTransition). One Resource instance is shared by all the
+// sims of a coupled group; it is not safe for concurrent use, matching
+// the kernel it guards.
+type Resource interface {
+	// RequestService asks to begin one request's service on behalf of
+	// g at time now. Grant admits it now; Wait queues g FIFO for a
+	// later ResourceGranted callback; Drop rejects it.
+	RequestService(now float64, g ResourceClient) Verdict
+	// ReleaseService returns the capacity RequestService granted
+	// (directly or via ResourceGranted). Called exactly once per grant,
+	// at service completion or abort. Releasing may synchronously grant
+	// the head waiter.
+	ReleaseService(now float64, g ResourceClient)
+	// CancelWait withdraws a queued g (the device left its service
+	// state before being granted). Called only while g is queued.
+	CancelWait(now float64, g ResourceClient)
+	// AllowTransition is consulted before a commanded power-state
+	// change executes; deltaPowerW is the settled-state power the
+	// change adds (negative for a downward transition). Returning false
+	// vetoes the command — the device stays put and the denial is
+	// counted in Metrics.BudgetDenied. Implementations that admit the
+	// change must account its delta here (the simulator will not call
+	// again for the same command).
+	AllowTransition(now float64, g ResourceClient, deltaPowerW float64) bool
+}
+
+// ResourceClient is the waiter half of the Resource contract. *Sim
+// implements it: a queued instance resumes its service start when the
+// resource calls ResourceGranted.
+type ResourceClient interface {
+	// ResourceGranted delivers a deferred Grant at time now. The
+	// callee starts the service it was queued for and owes the
+	// matching ReleaseService.
+	ResourceGranted(now float64)
+}

@@ -130,21 +130,35 @@ func TableFleetCtx(ctx context.Context, devices int, horizon float64, mode fleet
 // FleetTable renders a pooled fleet summary as per-class rows, per-policy
 // rollups, a fleet-total row, and a note carrying the fleet-level wait
 // percentiles. The output is a pure function of the summary, so it is
-// bit-identical across -parallel values whenever the summary is.
+// bit-identical across -parallel values whenever the summary is. A
+// coupled summary (Fleet.Couple set) grows three interference columns —
+// mean per-instance contention wait, gateway drops, budget denials —
+// and an uncoupled one renders byte-identically to the pre-coupling
+// layout (the PR-pinned golden output).
 func FleetTable(sum *FleetSummary) (*Table, error) {
 	replicas := sum.Replicas
 	if replicas < 1 {
 		replicas = 1
 	}
+	coupled := sum.Fleet.Couple != fleet.CoupleNone
+	kernel := string(sum.Fleet.Mode)
+	if coupled {
+		kernel = fmt.Sprintf("%s kernel, coupled %s ×%d", sum.Fleet.Mode, sum.Fleet.Couple, sum.Fleet.CoupleSize)
+	} else {
+		kernel += " kernel"
+	}
 	// Fleet.Devices accumulates across replicas; the title names the
 	// per-replica fleet size, matching the note.
 	t := &Table{
-		Title: fmt.Sprintf("Table Fleet — %d heterogeneous devices (%s kernel)",
-			sum.Fleet.Devices/int64(replicas), sum.Fleet.Mode),
+		Title: fmt.Sprintf("Table Fleet — %d heterogeneous devices (%s)",
+			sum.Fleet.Devices/int64(replicas), kernel),
 		Headers: []string{"group", "policy", "instances", "power (W)", "±95%", "wait (s)", "loss", "energy red."},
 	}
+	if coupled {
+		t.Headers = append(t.Headers, "res.wait (s)", "drops", "denied")
+	}
 	row := func(name string, c *fleet.ClassStats) {
-		t.Rows = append(t.Rows, []string{
+		cells := []string{
 			name,
 			c.Policy,
 			fmt.Sprintf("%d", c.Instances),
@@ -153,7 +167,15 @@ func FleetTable(sum *FleetSummary) (*Table, error) {
 			fmt.Sprintf("%.3f", c.MeanWaitSec.Mean()),
 			fmt.Sprintf("%.2f%%", 100*c.LossRate.Mean()),
 			fmt.Sprintf("%.1f%%", 100*c.EnergyReduction.Mean()),
-		})
+		}
+		if coupled {
+			cells = append(cells,
+				fmt.Sprintf("%.3f", c.ResourceWaitSec.Mean()),
+				fmt.Sprintf("%d", c.ResourceDrops),
+				fmt.Sprintf("%d", c.BudgetDenied),
+			)
+		}
+		t.Rows = append(t.Rows, cells)
 	}
 	for i := range sum.Fleet.Classes {
 		row(sum.Fleet.Classes[i].Name, &sum.Fleet.Classes[i])
@@ -170,6 +192,9 @@ func FleetTable(sum *FleetSummary) (*Table, error) {
 		EnergyReduction: sum.Fleet.EnergyReduction,
 		MeanWaitSec:     sum.Fleet.MeanWaitSec,
 		LossRate:        sum.Fleet.LossRate,
+		ResourceWaitSec: sum.Fleet.ResourceWaitSec,
+		ResourceDrops:   sum.Fleet.ResourceDrops,
+		BudgetDenied:    sum.Fleet.BudgetDenied,
 	}
 	row("fleet", fl)
 	p50, err := sum.Fleet.WaitQuantile(0.50)
@@ -189,5 +214,83 @@ func FleetTable(sum *FleetSummary) (*Table, error) {
 		sum.Fleet.Devices/int64(replicas), replicas, sum.Fleet.HorizonSec,
 		sum.Fleet.Shards/replicas, sum.Fleet.Events,
 		p50, p90, p99, 100*sum.Fleet.LossOverall())
+	if coupled {
+		t.Note += fmt.Sprintf("; contention wait mean %.3f s, %d gateway drops, %d budget denials",
+			sum.Fleet.ResourceWaitSec.Mean(), sum.Fleet.ResourceDrops, sum.Fleet.BudgetDenied)
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table Coupled Fleet — policies under contention severity
+
+// TableCoupledFleet compares the canonical mix's policies under growing
+// contention severity: one coupled fleet per group size in sizes, all
+// contending for the given shared resource, rendered as per-policy
+// rollups per severity level.
+func TableCoupledFleet(devices int, horizon float64, couple fleet.CoupleMode, sizes []int, seeds []uint64) (*Table, error) {
+	return TableCoupledFleetCtx(context.Background(), devices, horizon, couple, sizes, seeds, Parallel{})
+}
+
+// TableCoupledFleetCtx is TableCoupledFleet with cancellation and pool
+// control; output is bit-identical for every -parallel value. The note
+// tracks the interference acceptance signal: the p99 of per-instance
+// mean waits per severity level, which grows with the group size.
+func TableCoupledFleetCtx(ctx context.Context, devices int, horizon float64, couple fleet.CoupleMode, sizes []int, seeds []uint64, par Parallel) (*Table, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("experiment: coupled fleet table needs at least one group size")
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Table Coupled Fleet — %d devices sharing a %s (%d severity levels)", devices, couple, len(sizes)),
+		Headers: []string{"K", "policy", "power (W)", "wait (s)", "res.wait (s)", "drops", "denied", "energy red."},
+	}
+	note := "p99 wait by K:"
+	for _, k := range sizes {
+		sc := FleetScenario{
+			Name: fmt.Sprintf("coupled-%s-%d", couple, k),
+			Spec: fleet.Spec{
+				Devices:    devices,
+				Classes:    fleet.DefaultMix(),
+				Mode:       fleet.ModeCT,
+				Horizon:    horizon,
+				Couple:     couple,
+				CoupleSize: k,
+			},
+		}
+		sum, err := RunFleetReplicatedCtx(ctx, sc, seeds, par)
+		if err != nil {
+			return nil, err
+		}
+		row := func(label string, c *fleet.ClassStats) {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", k),
+				label,
+				fmt.Sprintf("%.4f", c.AvgPowerW.Mean()),
+				fmt.Sprintf("%.3f", c.MeanWaitSec.Mean()),
+				fmt.Sprintf("%.3f", c.ResourceWaitSec.Mean()),
+				fmt.Sprintf("%d", c.ResourceDrops),
+				fmt.Sprintf("%d", c.BudgetDenied),
+				fmt.Sprintf("%.1f%%", 100*c.EnergyReduction.Mean()),
+			})
+		}
+		perPol := sum.Fleet.PerPolicy()
+		for i := range perPol {
+			row(perPol[i].Policy, &perPol[i])
+		}
+		row("fleet", &fleet.ClassStats{
+			AvgPowerW:       sum.Fleet.AvgPowerW,
+			EnergyReduction: sum.Fleet.EnergyReduction,
+			MeanWaitSec:     sum.Fleet.MeanWaitSec,
+			ResourceWaitSec: sum.Fleet.ResourceWaitSec,
+			ResourceDrops:   sum.Fleet.ResourceDrops,
+			BudgetDenied:    sum.Fleet.BudgetDenied,
+		})
+		p99, err := sum.Fleet.WaitQuantile(0.99)
+		if err != nil {
+			return nil, err
+		}
+		note += fmt.Sprintf(" %d→%.3f s", k, p99)
+	}
+	t.Note = note
 	return t, nil
 }

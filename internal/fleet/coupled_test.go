@@ -1,0 +1,298 @@
+package fleet
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// coupledSpec returns a small heterogeneous coupled fleet: 37 devices
+// in groups of 5, two groups per shard, so the last shard (7 instances)
+// and the last group (2 instances) are both partial.
+func coupledSpec(couple CoupleMode) Spec {
+	return Spec{
+		Devices:    37,
+		Classes:    DefaultMix(),
+		Mode:       ModeCT,
+		Horizon:    60,
+		ShardSize:  10,
+		Couple:     couple,
+		CoupleSize: 5,
+		Seed:       42,
+	}
+}
+
+// TestFleetCoupledBitIdenticalAcrossPoolSizes extends the fleet
+// determinism contract to coupled mode: for every shared resource, the
+// merged summary — interference accumulators included — is identical
+// for every worker count. Coupling lives within a shard, so shards
+// stay independent and the serial reduction sees the same parts in the
+// same order whatever worker ran them.
+func TestFleetCoupledBitIdenticalAcrossPoolSizes(t *testing.T) {
+	for _, couple := range []CoupleMode{CoupleChannel, CoupleGateway, CouplePower} {
+		t.Run(string(couple), func(t *testing.T) {
+			spec := coupledSpec(couple)
+			serial, err := Run(context.Background(), spec, &engine.Pool{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4} {
+				pooled, err := Run(context.Background(), spec, &engine.Pool{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(serial, pooled) {
+					t.Fatalf("summary differs between 1 and %d workers:\n%+v\nvs\n%+v", workers, serial, pooled)
+				}
+			}
+			if serial.Devices != int64(spec.Devices) {
+				t.Fatalf("%d devices simulated, want %d", serial.Devices, spec.Devices)
+			}
+			if serial.Couple != couple || serial.CoupleSize != 5 {
+				t.Fatalf("summary coupling echo = %q/%d, want %q/5", serial.Couple, serial.CoupleSize, couple)
+			}
+			if serial.Events == 0 || serial.Arrived == 0 {
+				t.Fatalf("coupled fleet simulated nothing: %+v", serial)
+			}
+		})
+	}
+}
+
+// TestFleetCoupledInterferenceMetricsNonZero checks that each shared
+// resource produces its signature interference metric on the default
+// mix: the channel and gateway make instances wait, the gateway drops,
+// and the power budget denies transitions.
+func TestFleetCoupledInterferenceMetricsNonZero(t *testing.T) {
+	run := func(couple CoupleMode) *Summary {
+		t.Helper()
+		spec := coupledSpec(couple)
+		sum, err := Run(context.Background(), spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	if s := run(CoupleChannel); !(s.ResourceWaitSec.Mean() > 0) {
+		t.Fatalf("channel coupling produced no contention wait: %+v", s)
+	} else if s.ResourceDrops != 0 || s.BudgetDenied != 0 {
+		t.Fatalf("channel coupling produced foreign interference metrics: %+v", s)
+	}
+	if s := run(CoupleGateway); s.ResourceDrops == 0 {
+		t.Fatalf("gateway coupling dropped nothing: %+v", s)
+	}
+	if s := run(CouplePower); s.BudgetDenied == 0 {
+		t.Fatalf("power coupling denied nothing: %+v", s)
+	} else if !(s.ResourceWaitSec.Mean() == 0) {
+		t.Fatalf("power coupling produced contention wait: %+v", s)
+	}
+}
+
+// TestFleetCoupledInterferenceGrowsWithCoupleSize is the acceptance
+// check for a measurable cross-device interference effect: as the
+// group size grows, more devices contend for the one channel, so both
+// the per-class contention wait and the p99 of per-instance mean
+// request waits must grow. A group of one never contends (sequential
+// service cannot collide with itself), so its resource wait is exactly
+// zero.
+func TestFleetCoupledInterferenceGrowsWithCoupleSize(t *testing.T) {
+	run := func(k int) *Summary {
+		t.Helper()
+		spec := Spec{
+			Devices:    64,
+			Classes:    DefaultMix(),
+			Mode:       ModeCT,
+			Horizon:    120,
+			ShardSize:  32,
+			Quantiles:  QuantilesExact,
+			Couple:     CoupleChannel,
+			CoupleSize: k,
+			Seed:       7,
+		}
+		sum, err := Run(context.Background(), spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	p99 := func(s *Summary) float64 {
+		t.Helper()
+		q, err := s.WaitQuantile(0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	s1, s8, s32 := run(1), run(8), run(32)
+	if w := s1.ResourceWaitSec.Mean(); w != 0 {
+		t.Fatalf("couple-size 1 accrued contention wait %v, want exactly 0", w)
+	}
+	w8, w32 := s8.ResourceWaitSec.Mean(), s32.ResourceWaitSec.Mean()
+	if !(w8 > 0) || !(w32 > w8) {
+		t.Fatalf("contention wait does not grow with couple size: K=8 %v, K=32 %v", w8, w32)
+	}
+	if !(p99(s32) > p99(s1)) {
+		t.Fatalf("p99 wait does not grow with couple size: K=1 %v, K=32 %v", p99(s1), p99(s32))
+	}
+	for ci := range s32.Classes {
+		c1, c32 := &s1.Classes[ci], &s32.Classes[ci]
+		if c1.ResourceWaitSec.Mean() != 0 {
+			t.Fatalf("class %s accrued contention wait at couple-size 1", c1.Name)
+		}
+		if !(c32.ResourceWaitSec.Mean() >= 0) {
+			t.Fatalf("class %s has invalid contention wait", c32.Name)
+		}
+	}
+}
+
+// TestFleetKernelKindsBitIdentical pins the kernel-interchangeability
+// contract at fleet level: heap- and calendar-backed runs produce the
+// identical summary, uncoupled and coupled.
+func TestFleetKernelKindsBitIdentical(t *testing.T) {
+	specs := map[string]Spec{
+		"uncoupled": {Devices: 37, Classes: DefaultMix(), Mode: ModeCT, Horizon: 60, ShardSize: 5, Seed: 42},
+		"coupled":   coupledSpec(CoupleChannel),
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			heap, cal := spec, spec
+			heap.Kernel, cal.Kernel = KernelHeap, KernelCalendar
+			sh, err := Run(context.Background(), heap, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := Run(context.Background(), cal, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(sh, sc) {
+				t.Fatalf("summary differs across kernel kinds:\n%+v\nvs\n%+v", sh, sc)
+			}
+		})
+	}
+}
+
+// TestFleetCoupledShardAllocationFree is the acceptance gate for the
+// coupled reuse contract: once a worker's group kernel, lanes, and
+// shared resource are warm, a complete coupled shard cycle — every
+// group built, reset, run to horizon, folded, merged, part recycled —
+// performs zero heap allocations, for every shared resource. Part of
+// the CI allocation-regression step (AllocationFree name match).
+func TestFleetCoupledShardAllocationFree(t *testing.T) {
+	for _, couple := range []CoupleMode{CoupleChannel, CoupleGateway, CouplePower} {
+		t.Run(string(couple), func(t *testing.T) {
+			spec := Spec{
+				Devices:    64,
+				Classes:    DefaultMix(),
+				Mode:       ModeCT,
+				Horizon:    64,
+				ShardSize:  64,
+				Couple:     couple,
+				CoupleSize: 8,
+				Seed:       3,
+			}
+			r, err := newRunner(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := newSummary(r, 0)
+			ws := &workerScratch{}
+			ctx := context.Background()
+			cycle := func() {
+				part, err := r.runShard(ctx, 0, ws)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total.Merge(part)
+				r.putSummary(part)
+			}
+			cycle() // warm: kernel arena, lanes, resource queues, pooled part
+			allocs := testing.AllocsPerRun(16, cycle)
+			if allocs != 0 {
+				t.Fatalf("%s coupled shard loop allocates %.1f times per shard after warm-up", couple, allocs)
+			}
+		})
+	}
+}
+
+// TestMetricsViewClobberedByNextPooledInstance pins both halves of the
+// ctsim.MetricsView aliasing contract as the fleet shard fold relies on
+// it: (1) a view captured for one pooled instance IS clobbered in place
+// by the next instance's run — retaining it across instances reads the
+// wrong numbers — and (2) the shard fold is immune, because it copies
+// every scalar into the instance's result row before the simulator is
+// reset for the next instance.
+func TestMetricsViewClobberedByNextPooledInstance(t *testing.T) {
+	spec := Spec{Devices: 8, Classes: DefaultMix(), Mode: ModeCT, Horizon: 60, Seed: 11}
+	r, err := newRunner(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := newSummary(r, 0)
+	ws := &workerScratch{}
+	ctx := context.Background()
+	if err := r.runInstanceCT(ctx, 0, ws, sum); err != nil {
+		t.Fatal(err)
+	}
+	view := ws.sim.MetricsView()
+	firstEnergy, firstArrived := view.EnergyJ, view.Arrived
+	foldedEnergy := sum.EnergyJ
+	if foldedEnergy != firstEnergy {
+		t.Fatalf("fold saw %v J, live view has %v J", foldedEnergy, firstEnergy)
+	}
+	if err := r.runInstanceCT(ctx, 1, ws, sum); err != nil {
+		t.Fatal(err)
+	}
+	// Half 1: the retained view now shows instance 1, not instance 0.
+	if view.EnergyJ == firstEnergy && view.Arrived == firstArrived {
+		t.Fatal("expected the second instance to clobber the retained view (did instances 0 and 1 coincide?)")
+	}
+	// Half 2: the fold copied instance 0's scalars out before the reset,
+	// so the total is exactly instance 0 + instance 1 (same-order float
+	// addition, so the comparison is exact).
+	if sum.EnergyJ != foldedEnergy+view.EnergyJ {
+		t.Fatalf("shard fold lost instance 0: total %v J, want %v + %v", sum.EnergyJ, foldedEnergy, view.EnergyJ)
+	}
+}
+
+// TestSpecValidateCoupling covers the coupling and kernel validation
+// surface: defaults, the shard-multiple rule, and the rejects.
+func TestSpecValidateCoupling(t *testing.T) {
+	base := func() Spec {
+		return Spec{Devices: 10, Classes: DefaultMix(), Mode: ModeCT, Horizon: 10}
+	}
+	ok := base()
+	ok.Couple = CoupleChannel
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ok.CoupleSize != defaultCoupleSize || ok.ShardSize%ok.CoupleSize != 0 {
+		t.Fatalf("coupling defaults: size=%d shard=%d", ok.CoupleSize, ok.ShardSize)
+	}
+	round := base()
+	round.Couple = CoupleGateway
+	round.CoupleSize = 48
+	if err := round.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if round.ShardSize != 144 {
+		t.Fatalf("defaulted shard size not rounded to a couple multiple: %d", round.ShardSize)
+	}
+	bad := []func(*Spec){
+		func(sp *Spec) { sp.Couple = "mesh" },
+		func(sp *Spec) { sp.Couple = CoupleChannel; sp.Mode = ModeSlot },
+		func(sp *Spec) { sp.Couple = CoupleChannel; sp.CoupleSize = 5; sp.ShardSize = 12 },
+		func(sp *Spec) { sp.CoupleSize = 4 },
+		func(sp *Spec) { sp.Couple = CouplePower; sp.BudgetFrac = -1 },
+		func(sp *Spec) { sp.Kernel = "splay" },
+		func(sp *Spec) { sp.Kernel = KernelCalendar; sp.Mode = ModeSlot },
+	}
+	for i, mutate := range bad {
+		sp := base()
+		mutate(&sp)
+		if err := sp.Validate(); err == nil {
+			t.Fatalf("bad spec %d validated: %+v", i, sp)
+		}
+	}
+}

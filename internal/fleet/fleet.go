@@ -93,6 +93,51 @@ const (
 // order statistic (see stats.QuantileSketch for the precise statement).
 const WaitSketchAccuracy = 0.01
 
+// KernelKind selects the event-queue backing of the CT kernel. Both
+// backings fire events in the identical (time, seq) order, so fleet
+// output is bit-identical across kinds (TestFleetKernelKindsBitIdentical)
+// — the choice is purely a performance knob.
+type KernelKind string
+
+const (
+	// KernelHeap (the default) backs the kernel with the 4-ary
+	// index-tracked min-heap.
+	KernelHeap KernelKind = "heap"
+	// KernelCalendar backs the kernel with the O(1) calendar queue
+	// (eventq.NewCalendar).
+	KernelCalendar KernelKind = "calendar"
+)
+
+// CoupleMode selects the shared resource the instances of a coupled
+// group contend for (CT mode only — slot mode has no service-start
+// hook). Coupling replaces the one-private-kernel-per-instance loop
+// with groups of CoupleSize consecutive instances advancing on ONE
+// shared event kernel, their event streams interleaved
+// deterministically by (time, seq), with the group's resource
+// arbitrating service starts and power commands (see internal/shared).
+type CoupleMode string
+
+const (
+	// CoupleNone runs every instance on its own kernel — the default,
+	// byte-identical to the pre-coupling fleet layer.
+	CoupleNone CoupleMode = ""
+	// CoupleChannel couples each group through a single-occupancy
+	// channel: one device's service occupies the medium, contenders
+	// queue FIFO (a WLAN cell). Interference shows up as
+	// ResourceWaitSec.
+	CoupleChannel CoupleMode = "channel"
+	// CoupleGateway couples each group through a gateway with one
+	// server and a bounded wait room (Spec.GatewayWait): requests
+	// beyond the wait room are dropped. Interference shows up as
+	// ResourceWaitSec and ResourceDrops.
+	CoupleGateway CoupleMode = "gateway"
+	// CouplePower couples each group through a power budget capping
+	// the group's summed settled-state power at Spec.BudgetFrac times
+	// the group's summed always-on power: transitions that would
+	// overrun it are vetoed. Interference shows up as BudgetDenied.
+	CouplePower CoupleMode = "power"
+)
+
 // Class describes one homogeneous sub-population of the fleet: a catalog
 // device under an interarrival law, managed by a named policy. Instances
 // are assigned to classes by weighted round-robin over the instance
@@ -168,6 +213,24 @@ type Spec struct {
 	ShardSize int
 	// Quantiles selects sketch (default) or exact wait percentiles.
 	Quantiles QuantileMode
+	// Kernel selects the CT event-queue backing: KernelHeap (default)
+	// or KernelCalendar. Output is bit-identical across kinds.
+	Kernel KernelKind
+	// Couple selects the coupled mode's shared resource (default
+	// CoupleNone: independent instances). Requires ModeCT.
+	Couple CoupleMode
+	// CoupleSize is the number of consecutive instances per coupled
+	// group (default 8 when Couple is set). ShardSize must be a
+	// multiple of it — groups never straddle shards, which is what
+	// keeps shards independent and the -parallel contract intact.
+	// When ShardSize is defaulted, Validate rounds it up to a multiple.
+	CoupleSize int
+	// BudgetFrac scales the CouplePower cap: cap = BudgetFrac × the
+	// group's summed always-on power (default 0.5). Values >= 1 make
+	// the budget non-binding from the initial all-on draw.
+	BudgetFrac float64
+	// GatewayWait is the CoupleGateway wait-room bound (default 2).
+	GatewayWait int
 	// Seed roots the per-instance seed derivation.
 	Seed uint64
 }
@@ -177,6 +240,9 @@ const (
 	defaultQueueCap      = 8
 	defaultLatencyWeight = 0.3
 	defaultShardSize     = 128
+	defaultCoupleSize    = 8
+	defaultBudgetFrac    = 0.5
+	defaultGatewayWait   = 2
 )
 
 // Validate checks the spec and fills defaults (it mutates the receiver).
@@ -213,6 +279,55 @@ func (sp *Spec) Validate() error {
 	}
 	if sp.LatencyWeight < 0 || math.IsNaN(sp.LatencyWeight) {
 		return fmt.Errorf("fleet: latency weight %v must be >= 0", sp.LatencyWeight)
+	}
+	if sp.Kernel == "" {
+		sp.Kernel = KernelHeap
+	}
+	if sp.Kernel != KernelHeap && sp.Kernel != KernelCalendar {
+		return fmt.Errorf("fleet: unknown kernel %q (want %q or %q)", sp.Kernel, KernelHeap, KernelCalendar)
+	}
+	if sp.Kernel == KernelCalendar && sp.Mode == ModeSlot {
+		return fmt.Errorf("fleet: kernel %q applies to CT mode only (slot mode has no event kernel)", sp.Kernel)
+	}
+	switch sp.Couple {
+	case CoupleNone, CoupleChannel, CoupleGateway, CouplePower:
+	default:
+		return fmt.Errorf("fleet: unknown couple mode %q (want %q, %q, or %q)", sp.Couple, CoupleChannel, CoupleGateway, CouplePower)
+	}
+	if sp.Couple != CoupleNone {
+		if sp.Mode == ModeSlot {
+			return fmt.Errorf("fleet: coupling requires CT mode (slot mode has no service-start hook)")
+		}
+		if sp.CoupleSize == 0 {
+			sp.CoupleSize = defaultCoupleSize
+		}
+		if sp.CoupleSize < 1 {
+			return fmt.Errorf("fleet: couple size %d must be >= 1", sp.CoupleSize)
+		}
+		// Groups must never straddle shards: a defaulted shard size is
+		// rounded up to a multiple of the couple size; an explicit one
+		// that is not a multiple is an error, not a silent reshard.
+		if sp.ShardSize == 0 {
+			k := sp.CoupleSize
+			sp.ShardSize = (defaultShardSize + k - 1) / k * k
+		}
+		if sp.ShardSize%sp.CoupleSize != 0 {
+			return fmt.Errorf("fleet: shard size %d must be a multiple of couple size %d (groups cannot straddle shards)", sp.ShardSize, sp.CoupleSize)
+		}
+		if sp.BudgetFrac == 0 {
+			sp.BudgetFrac = defaultBudgetFrac
+		}
+		if !(sp.BudgetFrac > 0) || math.IsInf(sp.BudgetFrac, 0) {
+			return fmt.Errorf("fleet: budget fraction %v must be positive and finite", sp.BudgetFrac)
+		}
+		if sp.GatewayWait == 0 {
+			sp.GatewayWait = defaultGatewayWait
+		}
+		if sp.GatewayWait < 0 {
+			return fmt.Errorf("fleet: gateway wait room %d must be >= 0", sp.GatewayWait)
+		}
+	} else if sp.CoupleSize != 0 {
+		return fmt.Errorf("fleet: couple size %d set without a couple mode", sp.CoupleSize)
 	}
 	if sp.ShardSize == 0 {
 		sp.ShardSize = defaultShardSize
@@ -337,6 +452,11 @@ type workerScratch struct {
 	root      rng.Stream
 	polStream rng.Stream
 	simStream rng.Stream
+
+	// coupled holds the shared-kernel group state (the group kernel,
+	// one lane per group slot, and the shared resource); untouched on
+	// uncoupled runs. See coupled.go.
+	coupled coupledScratch
 }
 
 // classScratch is one worker's pooled object set for one class.
@@ -354,31 +474,26 @@ type classScratch struct {
 	cfg ctsim.Config
 }
 
-// classState returns the worker's pooled objects for class ci, building
-// them on first use (the only allocations a worker ever performs per
-// class; every instance after that reuses them via resets).
-func (ws *workerScratch) classState(r *runner, ci int) (*classScratch, error) {
-	if ws.classes == nil {
-		ws.classes = make([]classScratch, len(r.classes))
-	}
-	cs := &ws.classes[ci]
-	if cs.pol != nil {
-		return cs, nil
-	}
+// build fills one classScratch for class ci with policy and simulator
+// streams owned by the caller (a worker's scratch, or one lane of a
+// coupled group) and an optional shared resource wired into the cached
+// config. It performs the only allocations ever made per (owner,
+// class); every instance after that reuses the set via resets.
+func (cs *classScratch) build(r *runner, ci int, polStream, simStream *rng.Stream, res ctsim.Resource) error {
 	cc := &r.classes[ci]
-	pol, err := buildSlotPolicy(cc, r.spec.QueueCap, r.spec.LatencyWeight, &ws.polStream)
+	pol, err := buildSlotPolicy(cc, r.spec.QueueCap, r.spec.LatencyWeight, polStream)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	reset, err := policyReset(pol)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	cs.pol, cs.resetPol = pol, reset
 	if r.spec.Mode == ModeCT {
 		cs.adapted = ctsim.Adapt(pol, r.spec.Period)
 		if cs.src, err = ctsim.NewRenewalSource(cc.arrDist); err != nil {
-			return nil, err
+			return err
 		}
 		// Instances never run past the spec horizon, so the source can
 		// size its pre-draw blocks against it instead of buying a full
@@ -392,16 +507,34 @@ func (ws *workerScratch) classState(r *runner, ci int) (*classScratch, error) {
 			LatencyWeight:  r.spec.LatencyWeight / r.spec.Period,
 			Policy:         cs.adapted,
 			Source:         cs.src,
-			Stream:         &ws.simStream,
+			Stream:         simStream,
 			DecisionPeriod: r.spec.Period,
+			Resource:       res,
 		}
 		if err := cs.cfg.Validate(); err != nil {
-			return nil, err
+			return err
 		}
 	} else {
 		if cs.arr, err = workload.NewRenewal(cc.arrDist); err != nil {
-			return nil, err
+			return err
 		}
+	}
+	return nil
+}
+
+// classState returns the worker's pooled objects for class ci, building
+// them on first use (the only allocations a worker ever performs per
+// class; every instance after that reuses them via resets).
+func (ws *workerScratch) classState(r *runner, ci int) (*classScratch, error) {
+	if ws.classes == nil {
+		ws.classes = make([]classScratch, len(r.classes))
+	}
+	cs := &ws.classes[ci]
+	if cs.pol != nil {
+		return cs, nil
+	}
+	if err := cs.build(r, ci, &ws.polStream, &ws.simStream, nil); err != nil {
+		return nil, err
 	}
 	return cs, nil
 }
@@ -515,7 +648,7 @@ func (r *runner) instanceCT(ctx context.Context, i int, cc *compiledClass, cs *c
 	cs.src.Reset()
 	var err error
 	if ws.sim == nil {
-		if ws.sim, err = ctsim.New(cs.cfg); err != nil {
+		if ws.sim, err = ctsim.NewWithKernel(r.newKernel(), cs.cfg); err != nil {
 			return err
 		}
 		// Instances never run past the horizon, so events landing beyond
@@ -629,6 +762,9 @@ func (r *runner) instanceSlot(ctx context.Context, i int, cc *compiledClass, cs 
 // randomness is a pure function of its own seed and the fold order is
 // unchanged.
 func (r *runner) runShard(ctx context.Context, shard int, ws *workerScratch) (*Summary, error) {
+	if r.spec.Couple != CoupleNone {
+		return r.runShardCoupled(ctx, shard, ws)
+	}
 	lo := shard * r.spec.ShardSize
 	hi := lo + r.spec.ShardSize
 	if hi > r.spec.Devices {

@@ -23,6 +23,15 @@ type ClassStats struct {
 	EnergyReduction stats.Running
 	MeanWaitSec     stats.Running
 	LossRate        stats.Running
+	// Interference aggregates, populated only by coupled runs
+	// (Spec.Couple): ResourceWaitSec pools each instance's total time
+	// spent queued for the shared resource; ResourceDrops counts
+	// requests the shared gateway rejected; BudgetDenied counts
+	// power-state commands the shared budget vetoed. All zero on an
+	// uncoupled run.
+	ResourceWaitSec stats.Running
+	ResourceDrops   int64
+	BudgetDenied    int64
 }
 
 // merge folds another group (same identity) into c.
@@ -35,6 +44,9 @@ func (c *ClassStats) merge(o *ClassStats) {
 	c.EnergyReduction.Merge(&o.EnergyReduction)
 	c.MeanWaitSec.Merge(&o.MeanWaitSec)
 	c.LossRate.Merge(&o.LossRate)
+	c.ResourceWaitSec.Merge(&o.ResourceWaitSec)
+	c.ResourceDrops += o.ResourceDrops
+	c.BudgetDenied += o.BudgetDenied
 }
 
 // instanceResult is one instance's contribution to the aggregates.
@@ -42,6 +54,9 @@ type instanceResult struct {
 	avgPowerW, energyRed, meanWaitSec, lossRate, energyJ float64
 	arrived, served, lost                                int64
 	events                                               uint64
+	// Interference fields, zero unless the run is coupled.
+	resourceWaitSec             float64
+	resourceDrops, budgetDenied int64
 }
 
 // Summary aggregates a fleet run (or a shard of one — shards stream
@@ -63,6 +78,11 @@ type Summary struct {
 	Shards  int
 	// HorizonSec is each instance's simulated length in seconds.
 	HorizonSec float64
+	// Couple and CoupleSize echo the spec's coupling configuration
+	// (CoupleNone / 0 on an uncoupled run) so report layers can gate
+	// the interference columns without re-threading the spec.
+	Couple     CoupleMode
+	CoupleSize int
 	// EnergyJ is the fleet-total energy; Arrived/Served/Lost are
 	// fleet-total request counts; Events is the fleet-total kernel event
 	// count (CT mode) or slot count (slot mode).
@@ -75,6 +95,13 @@ type Summary struct {
 	EnergyReduction stats.Running
 	MeanWaitSec     stats.Running
 	LossRate        stats.Running
+	// ResourceWaitSec pools each instance's total time queued for the
+	// shared resource, fleet-wide; ResourceDrops and BudgetDenied are
+	// fleet-total interference counts. All zero on an uncoupled run
+	// (see ClassStats for the per-class breakdown).
+	ResourceWaitSec stats.Running
+	ResourceDrops   int64
+	BudgetDenied    int64
 	// Classes aggregates per class, index-aligned with Spec.Classes.
 	Classes []ClassStats
 	// WaitSketch pools every instance's mean wait (seconds) in a
@@ -98,6 +125,8 @@ func newSummary(r *runner, n int) *Summary {
 	s := &Summary{
 		Mode:       r.spec.Mode,
 		HorizonSec: r.spec.Horizon,
+		Couple:     r.spec.Couple,
+		CoupleSize: r.spec.CoupleSize,
 		Classes:    make([]ClassStats, len(r.classes)),
 		WaitSketch: sk,
 	}
@@ -123,6 +152,8 @@ func (s *Summary) reset(r *runner, n int) {
 	s.Devices = 0
 	s.Shards = 0
 	s.HorizonSec = r.spec.Horizon
+	s.Couple = r.spec.Couple
+	s.CoupleSize = r.spec.CoupleSize
 	s.EnergyJ = 0
 	s.Arrived, s.Served, s.Lost = 0, 0, 0
 	s.Events = 0
@@ -130,6 +161,9 @@ func (s *Summary) reset(r *runner, n int) {
 	s.EnergyReduction = stats.Running{}
 	s.MeanWaitSec = stats.Running{}
 	s.LossRate = stats.Running{}
+	s.ResourceWaitSec = stats.Running{}
+	s.ResourceDrops = 0
+	s.BudgetDenied = 0
 	for ci := range s.Classes {
 		c := &s.Classes[ci]
 		c.Instances = 0
@@ -137,6 +171,9 @@ func (s *Summary) reset(r *runner, n int) {
 		c.EnergyReduction = stats.Running{}
 		c.MeanWaitSec = stats.Running{}
 		c.LossRate = stats.Running{}
+		c.ResourceWaitSec = stats.Running{}
+		c.ResourceDrops = 0
+		c.BudgetDenied = 0
 	}
 	s.WaitSketch.Reset()
 	if r.spec.Quantiles == QuantilesExact {
@@ -162,12 +199,18 @@ func (s *Summary) addInstance(class int, ir instanceResult) {
 	s.EnergyReduction.Add(ir.energyRed)
 	s.MeanWaitSec.Add(ir.meanWaitSec)
 	s.LossRate.Add(ir.lossRate)
+	s.ResourceWaitSec.Add(ir.resourceWaitSec)
+	s.ResourceDrops += ir.resourceDrops
+	s.BudgetDenied += ir.budgetDenied
 	c := &s.Classes[class]
 	c.Instances++
 	c.AvgPowerW.Add(ir.avgPowerW)
 	c.EnergyReduction.Add(ir.energyRed)
 	c.MeanWaitSec.Add(ir.meanWaitSec)
 	c.LossRate.Add(ir.lossRate)
+	c.ResourceWaitSec.Add(ir.resourceWaitSec)
+	c.ResourceDrops += ir.resourceDrops
+	c.BudgetDenied += ir.budgetDenied
 	s.WaitSketch.Add(ir.meanWaitSec)
 	if s.Waits != nil {
 		s.Waits = append(s.Waits, ir.meanWaitSec)
@@ -182,6 +225,7 @@ func (s *Summary) addInstance(class int, ir instanceResult) {
 func (s *Summary) Merge(o *Summary) {
 	if s.Mode == "" {
 		s.Mode, s.HorizonSec = o.Mode, o.HorizonSec
+		s.Couple, s.CoupleSize = o.Couple, o.CoupleSize
 	}
 	s.Devices += o.Devices
 	s.Shards += o.Shards
@@ -194,6 +238,9 @@ func (s *Summary) Merge(o *Summary) {
 	s.EnergyReduction.Merge(&o.EnergyReduction)
 	s.MeanWaitSec.Merge(&o.MeanWaitSec)
 	s.LossRate.Merge(&o.LossRate)
+	s.ResourceWaitSec.Merge(&o.ResourceWaitSec)
+	s.ResourceDrops += o.ResourceDrops
+	s.BudgetDenied += o.BudgetDenied
 	if len(s.Classes) == 0 {
 		s.Classes = make([]ClassStats, len(o.Classes))
 	}

@@ -1,0 +1,272 @@
+// Package shared implements the resources a coupled fleet group
+// contends for: a single-occupancy channel (one device's service
+// occupies the medium), a bounded gateway queue (limited concurrent
+// service plus a finite wait room, overflow dropped), and a
+// rate-limited power budget (a cap on the group's summed settled-state
+// power that vetoes upward transitions). Each satisfies
+// ctsim.Resource; one instance is attached to every sim of a coupled
+// group via ctsim.Config.Resource and arbitrates their service starts
+// and power commands on the group's shared event kernel.
+//
+// Determinism: every method runs synchronously on the shared kernel's
+// event loop, wait queues grant in strict FIFO request order, and no
+// resource reads a clock or RNG of its own — a coupled group's outcome
+// is a pure function of its spec, preserving the repository-wide
+// bit-identical -parallel contract. None of the types is safe for
+// concurrent use, matching the kernel they guard.
+//
+// Reuse: all three types are resettable in place — Reset reproduces
+// the freshly constructed state bit-for-bit while keeping queue
+// capacity, so pooled coupled shards stay allocation-free after
+// warm-up (wait-queue growth allocates only until the queue has seen
+// its high-water mark).
+package shared
+
+import (
+	"fmt"
+
+	"repro/internal/ctsim"
+)
+
+// fifo is a FIFO of waiting clients backed by a reusable slice. Pop
+// compacts lazily (head index) so steady-state operation does not
+// allocate once the backing array has grown to the high-water mark.
+type fifo struct {
+	q    []ctsim.ResourceClient
+	head int
+}
+
+func (f *fifo) len() int { return len(f.q) - f.head }
+
+func (f *fifo) push(g ctsim.ResourceClient) {
+	if f.head > 0 && f.head == len(f.q) {
+		f.q = f.q[:0]
+		f.head = 0
+	}
+	f.q = append(f.q, g)
+}
+
+func (f *fifo) pop() ctsim.ResourceClient {
+	g := f.q[f.head]
+	f.q[f.head] = nil
+	f.head++
+	if f.head == len(f.q) {
+		f.q = f.q[:0]
+		f.head = 0
+	}
+	return g
+}
+
+// remove deletes the first occurrence of g, preserving the order of
+// the remaining waiters. It reports whether g was found.
+func (f *fifo) remove(g ctsim.ResourceClient) bool {
+	for i := f.head; i < len(f.q); i++ {
+		if f.q[i] == g {
+			copy(f.q[i:], f.q[i+1:])
+			f.q[len(f.q)-1] = nil
+			f.q = f.q[:len(f.q)-1]
+			if f.head == len(f.q) {
+				f.q = f.q[:0]
+				f.head = 0
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (f *fifo) reset() {
+	for i := f.head; i < len(f.q); i++ {
+		f.q[i] = nil
+	}
+	f.q = f.q[:0]
+	f.head = 0
+}
+
+// Channel is a single-occupancy shared medium: at most one device in
+// the group serves at a time (a WLAN cell where a transmission
+// occupies the channel). Contenders queue FIFO and are granted as the
+// holder releases; nothing is ever dropped and power commands are
+// never vetoed.
+type Channel struct {
+	busy    bool
+	waiters fifo
+}
+
+// NewChannel returns an idle single-occupancy channel.
+func NewChannel() *Channel { return &Channel{} }
+
+// Reset returns the channel to the freshly constructed idle state,
+// keeping the wait queue's capacity for reuse.
+func (c *Channel) Reset() {
+	c.busy = false
+	c.waiters.reset()
+}
+
+// RequestService grants the channel if idle, else queues g FIFO.
+func (c *Channel) RequestService(now float64, g ctsim.ResourceClient) ctsim.Verdict {
+	if !c.busy {
+		c.busy = true
+		return ctsim.Grant
+	}
+	c.waiters.push(g)
+	return ctsim.Wait
+}
+
+// ReleaseService frees the channel and synchronously grants the head
+// waiter, if any.
+func (c *Channel) ReleaseService(now float64, g ctsim.ResourceClient) {
+	if c.waiters.len() > 0 {
+		c.waiters.pop().ResourceGranted(now)
+		return
+	}
+	c.busy = false
+}
+
+// CancelWait withdraws a queued g.
+func (c *Channel) CancelWait(now float64, g ctsim.ResourceClient) {
+	if !c.waiters.remove(g) {
+		panic("shared: Channel.CancelWait for a client that is not waiting")
+	}
+}
+
+// AllowTransition always admits: the channel constrains the medium,
+// not power.
+func (c *Channel) AllowTransition(now float64, g ctsim.ResourceClient, deltaPowerW float64) bool {
+	return true
+}
+
+// Gateway is a bounded queue feeding shared downstream capacity: up to
+// Servers devices serve concurrently, up to WaitCap more wait FIFO,
+// and requests beyond that are dropped (counted by the requester in
+// Metrics.ResourceDrops). Power commands are never vetoed.
+type Gateway struct {
+	servers int
+	waitCap int
+	busy    int
+	waiters fifo
+}
+
+// NewGateway returns an idle gateway with the given concurrent-service
+// capacity and wait-room bound. Both must be at least zero and servers
+// at least one.
+func NewGateway(servers, waitCap int) *Gateway {
+	if servers < 1 {
+		panic(fmt.Sprintf("shared: NewGateway servers %d < 1", servers))
+	}
+	if waitCap < 0 {
+		panic(fmt.Sprintf("shared: NewGateway waitCap %d < 0", waitCap))
+	}
+	return &Gateway{servers: servers, waitCap: waitCap}
+}
+
+// Reset returns the gateway to the freshly constructed idle state,
+// keeping the wait queue's capacity for reuse.
+func (gw *Gateway) Reset() {
+	gw.busy = 0
+	gw.waiters.reset()
+}
+
+// RequestService grants while a server is free, queues while the wait
+// room has space, and drops otherwise.
+func (gw *Gateway) RequestService(now float64, g ctsim.ResourceClient) ctsim.Verdict {
+	if gw.busy < gw.servers {
+		gw.busy++
+		return ctsim.Grant
+	}
+	if gw.waiters.len() < gw.waitCap {
+		gw.waiters.push(g)
+		return ctsim.Wait
+	}
+	return ctsim.Drop
+}
+
+// ReleaseService frees a server and synchronously grants the head
+// waiter, if any.
+func (gw *Gateway) ReleaseService(now float64, g ctsim.ResourceClient) {
+	if gw.waiters.len() > 0 {
+		gw.waiters.pop().ResourceGranted(now)
+		return
+	}
+	gw.busy--
+}
+
+// CancelWait withdraws a queued g.
+func (gw *Gateway) CancelWait(now float64, g ctsim.ResourceClient) {
+	if !gw.waiters.remove(g) {
+		panic("shared: Gateway.CancelWait for a client that is not waiting")
+	}
+}
+
+// AllowTransition always admits: the gateway constrains service
+// concurrency, not power.
+func (gw *Gateway) AllowTransition(now float64, g ctsim.ResourceClient, deltaPowerW float64) bool {
+	return true
+}
+
+// PowerBudget caps the group's summed settled-state power: a commanded
+// transition that would push the running total above the cap is vetoed
+// (the device stays put, counted in Metrics.BudgetDenied) while
+// downward transitions always pass and return their headroom. Service
+// starts are never queued or dropped — the budget constrains power,
+// not the medium.
+//
+// The budget accounts settled-state power only: a latent transition's
+// transient draw is not charged, matching the ctsim hook, which
+// consults the budget once per command with the settled-power delta.
+type PowerBudget struct {
+	capW  float64
+	usedW float64
+}
+
+// NewPowerBudget returns a budget with the given cap in watts and no
+// registered draw. Callers register each group member's initial
+// settled power via Register before the run starts.
+func NewPowerBudget(capW float64) *PowerBudget { return &PowerBudget{capW: capW} }
+
+// Reset reconfigures the budget to a fresh cap with no registered
+// draw.
+func (p *PowerBudget) Reset(capW float64) {
+	p.capW = capW
+	p.usedW = 0
+}
+
+// Register charges a group member's initial settled-state power before
+// the run starts. Registration order must be deterministic (the
+// coupled shard loop registers lanes in instance order) so the
+// floating-point running total is reproducible.
+func (p *PowerBudget) Register(initialPowerW float64) {
+	p.usedW += initialPowerW
+}
+
+// CapW returns the configured cap in watts.
+func (p *PowerBudget) CapW() float64 { return p.capW }
+
+// UsedW returns the currently accounted settled-state draw in watts.
+func (p *PowerBudget) UsedW() float64 { return p.usedW }
+
+// RequestService always grants: the budget does not arbitrate the
+// medium.
+func (p *PowerBudget) RequestService(now float64, g ctsim.ResourceClient) ctsim.Verdict {
+	return ctsim.Grant
+}
+
+// ReleaseService is a no-op (every request was granted without
+// reserving capacity).
+func (p *PowerBudget) ReleaseService(now float64, g ctsim.ResourceClient) {}
+
+// CancelWait never fires (RequestService never answers Wait).
+func (p *PowerBudget) CancelWait(now float64, g ctsim.ResourceClient) {
+	panic("shared: PowerBudget.CancelWait — budget never queues a waiter")
+}
+
+// AllowTransition admits the command iff the resulting total stays
+// within the cap, and accounts the delta when it does. Downward
+// deltas always pass.
+func (p *PowerBudget) AllowTransition(now float64, g ctsim.ResourceClient, deltaPowerW float64) bool {
+	if deltaPowerW > 0 && p.usedW+deltaPowerW > p.capW {
+		return false
+	}
+	p.usedW += deltaPowerW
+	return true
+}
