@@ -456,3 +456,24 @@ func BenchmarkFleetCoupled10kCT(b *testing.B) {
 		CoupleSize: 8,
 	})
 }
+
+// BenchmarkFleetFaulted10kCT: the acceptance-scale fleet under fault
+// injection — crash/repair cycles plus transient retry/backoff at
+// moderate severity. One op = one full faulted fleet; the delta against
+// BenchmarkFleet10kCT is the whole cost of the fault layer (the crash
+// schedule, retry holds, and resilience accounting), which must stay
+// allocation-free and within the ns/event envelope.
+func BenchmarkFleetFaulted10kCT(b *testing.B) {
+	benchFleetSpec(b, fleet.Spec{
+		Devices: 10000,
+		Classes: fleet.DefaultMix(),
+		Mode:    fleet.ModeCT,
+		Horizon: 64,
+		Seed:    11,
+		Faults: &fleet.FaultSpec{
+			CrashMTBF:  150,
+			RepairMean: 10,
+			FailProb:   0.05,
+		},
+	})
+}

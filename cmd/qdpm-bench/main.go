@@ -11,6 +11,7 @@
 //	qdpm-bench -exp ct       # Table CT — continuous-time renewal workloads
 //	qdpm-bench -exp fleet    # Table Fleet — heterogeneous multi-device fleet
 //	qdpm-bench -exp coupled  # Table Coupled Fleet — policies under contention
+//	qdpm-bench -exp faulted  # Table Faulted Fleet — policies under fault severity
 //	qdpm-bench -exp all      # everything
 //
 // -quick shrinks run lengths ~5x for a fast smoke pass. -parallel sets
@@ -42,7 +43,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1|fig2|r1|r2|r3|r4|ablate|ct|fleet|coupled|all")
+	exp := flag.String("exp", "all", "experiment: fig1|fig2|r1|r2|r3|r4|ablate|ct|fleet|coupled|faulted|all")
 	quick := flag.Bool("quick", false, "shrink run lengths ~5x")
 	parallel := flag.Int("parallel", 0, "replica worker-pool size (0 = GOMAXPROCS, 1 = serial)")
 	seed := flag.Uint64("seed", 0, "derive replica seeds from this base (0 = canonical seeds)")
@@ -263,6 +264,25 @@ func main() {
 			}
 			seeds = reseed(seeds, 9)
 			tab, err := experiment.TableCoupledFleetCtx(ctx, devices, horizon, fleet.CoupleChannel, sizes, seeds, par)
+			if err != nil {
+				return err
+			}
+			experiment.RenderTable(os.Stdout, tab.Title, tab.Headers, tab.Rows)
+			fmt.Printf("# %s\n", tab.Note)
+			return nil
+		})
+	}
+	if want("faulted") {
+		matched = true
+		run("faulted", func() error {
+			devices, horizon := 600, 240.0
+			seeds := []uint64{41, 42}
+			if *quick {
+				devices, horizon = 150, 120
+				seeds = seeds[:1]
+			}
+			seeds = reseed(seeds, 10)
+			tab, err := experiment.TableFaultedFleetCtx(ctx, devices, horizon, experiment.DefaultFaultLevels(), seeds, par)
 			if err != nil {
 				return err
 			}

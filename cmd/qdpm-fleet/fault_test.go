@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunUnfaultedMatchesPR7Golden pins the "faults off ≡ pre-fault
+// output" contract: with no -faults flag, stdout is byte-identical to
+// the output the PR 7 binary produced for the same flags (testdata
+// goldens captured from that build). This is what licenses threading
+// the fault layer through the sim, the coupled driver, and the summary
+// — it must all be invisible until -faults is switched on.
+func TestRunUnfaultedMatchesPR7Golden(t *testing.T) {
+	cases := []struct {
+		golden string
+		args   []string
+	}{
+		{"golden_pr7_coupled_ch1k.txt", []string{
+			"-devices", "1000", "-horizon", "120", "-couple", "channel", "-couple-size", "8", "-seed", "1"}},
+		{"golden_pr7_power600.json", []string{
+			"-devices", "600", "-horizon", "120", "-couple", "power", "-seed", "2", "-json"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.golden, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out bytes.Buffer
+			if err := run(context.Background(), &out, tc.args); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Fatalf("unfaulted output drifted from the PR 7 golden %s:\n--- got ---\n%s\n--- want ---\n%s",
+					tc.golden, out.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestRunFaultedDeterministicAcrossPools: the faulted CLI surface is
+// bit-identical between serial and pooled runs, uncoupled and for every
+// outage-bearing shared resource — the acceptance-criteria diff, at
+// test scale.
+func TestRunFaultedDeterministicAcrossPools(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"uncoupled", []string{
+			"-devices", "80", "-horizon", "60", "-seed", "3",
+			"-faults", "mtbf=50,repair=6,fail=0.1"}},
+		{"channel-outage", []string{
+			"-devices", "80", "-horizon", "60", "-seed", "3",
+			"-couple", "channel", "-couple-size", "8",
+			"-faults", "mtbf=50,repair=6,fail=0.1,outage=20/4"}},
+		{"power-brownout", []string{
+			"-devices", "80", "-horizon", "60", "-seed", "3",
+			"-couple", "power", "-couple-size", "8",
+			"-faults", "outage=20/4,brownout=0.3"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var serial, pooled bytes.Buffer
+			if err := run(context.Background(), &serial, append(tc.args, "-parallel", "1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := run(context.Background(), &pooled, append(tc.args, "-parallel", "4")); err != nil {
+				t.Fatal(err)
+			}
+			if serial.String() != pooled.String() {
+				t.Fatalf("faulted output differs between -parallel 1 and 4:\n%s\nvs\n%s",
+					serial.String(), pooled.String())
+			}
+			if !strings.Contains(serial.String(), "faulted") {
+				t.Fatalf("faulted run missing 'faulted' marker:\n%s", serial.String())
+			}
+		})
+	}
+}
+
+// TestRunFaultedJSONReport: -faults grows the JSON report a resilience
+// block at fleet and group level, with internally consistent numbers.
+func TestRunFaultedJSONReport(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-devices", "80", "-horizon", "60", "-seed", "3",
+		"-faults", "mtbf=50,repair=6,fail=0.1", "-json"}
+	if err := run(context.Background(), &out, args); err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if rep.Resilience == nil {
+		t.Fatalf("faulted report missing resilience block:\n%s", out.String())
+	}
+	r := rep.Resilience
+	if r.Availability <= 0 || r.Availability >= 1 {
+		t.Fatalf("availability %v not in (0,1)", r.Availability)
+	}
+	if r.Crashes == 0 || r.Retries == 0 {
+		t.Fatalf("faulted run accrued no crashes/retries: %+v", r)
+	}
+	var crashes int64
+	for _, g := range rep.Classes {
+		if g.Resilience == nil {
+			t.Fatalf("class %s missing resilience block", g.Name)
+		}
+		crashes += g.Resilience.Crashes
+	}
+	if crashes != r.Crashes {
+		t.Fatalf("class crashes sum %d != fleet crashes %d", crashes, r.Crashes)
+	}
+
+	// The unfaulted report must not carry the block at all (omitempty).
+	out.Reset()
+	if err := run(context.Background(), &out,
+		[]string{"-devices", "80", "-horizon", "60", "-seed", "3", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "resilience") {
+		t.Fatalf("unfaulted JSON leaked a resilience block:\n%s", out.String())
+	}
+}
+
+// TestRunTimeoutFlag: an unmeetable -timeout aborts the run with an
+// error naming the deadline and the shards completed, instead of
+// hanging or reporting a truncated fleet as complete.
+func TestRunTimeoutFlag(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-devices", "50000", "-horizon", "600", "-timeout", "1ms"}
+	err := run(context.Background(), &out, args)
+	if err == nil {
+		t.Fatal("1ms timeout on a 50k-device run did not error")
+	}
+	if !strings.Contains(err.Error(), "wall-clock timeout") ||
+		!strings.Contains(err.Error(), "shards") {
+		t.Fatalf("timeout error lacks deadline/shard report: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("timed-out run still wrote a report:\n%s", out.String())
+	}
+}
+
+// TestRunRejectsBadFaults: malformed -faults strings and outage flags
+// without a shared resource error out before any simulation runs.
+func TestRunRejectsBadFaults(t *testing.T) {
+	for _, args := range [][]string{
+		{"-faults", "mtbf=banana"},
+		{"-faults", "warp=9"},
+		{"-faults", "outage=60/5"}, // outage needs -couple
+	} {
+		var out bytes.Buffer
+		if err := run(context.Background(), &out, append([]string{"-devices", "10", "-horizon", "10"}, args...)); err == nil {
+			t.Fatalf("args %v did not error", args)
+		}
+	}
+}

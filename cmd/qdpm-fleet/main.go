@@ -15,6 +15,12 @@
 //	                                               # groups of 8 sharing one
 //	                                               # clock and channel
 //	qdpm-fleet -devices 10000 -kernel calendar     # calendar-queue backing
+//	qdpm-fleet -devices 10000 -faults mtbf=150,repair=10,fail=0.05
+//	                                               # crash/repair cycles +
+//	                                               # transient retry/backoff
+//	qdpm-fleet -devices 10000 -couple channel -faults outage=60/5
+//	                                               # scheduled channel jams
+//	qdpm-fleet -devices 1000000 -timeout 10m       # wall-clock deadline
 //
 // Coupled mode (-couple channel|gateway|power) advances groups of
 // -couple-size consecutive instances on one shared event kernel with a
@@ -22,6 +28,17 @@
 // adds per-class cross-device interference metrics (contention wait,
 // gateway drops, budget denials) to the report. Uncoupled output is
 // byte-identical to earlier releases, coupled or not -parallel.
+//
+// Fault injection (-faults, see fleet.ParseFaults for the grammar) adds
+// deterministic device crash/repair cycles, transient service failures
+// with bounded exponential-backoff retries, and — on coupled runs —
+// scheduled outage windows on the shared resource (channel jams,
+// gateway downtime, power brownouts via brownout=). The report grows
+// availability/crash/retry columns and the JSON a "resilience" block;
+// a run without -faults stays byte-identical to earlier releases. A
+// shard that fails no longer kills the run: the report covers the
+// surviving shards and the command exits nonzero with a partial-failure
+// report naming the failed shards and their instance ranges.
 //
 // Wait percentiles default to the mergeable log-binned sketch (1%
 // relative error, memory independent of the device count — the setting
@@ -78,6 +95,8 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		coupleK  = fs.Int("couple-size", 0, "instances per coupled group sharing one kernel and resource (0 = default 8 when -couple is set)")
 		budgetF  = fs.Float64("budget-frac", 0, "power-budget cap as a fraction of each group's summed always-on power (0 = default 0.5; -couple power only)")
 		gateWait = fs.Int("gateway-wait", 0, "gateway wait-room bound (0 = default 2; -couple gateway only)")
+		faultStr = fs.String("faults", "", "fault injection: mtbf=,repair=,fail=,retries=,backoff=,outage=period[/dur],brownout= (default: no faults; outage needs -couple)")
+		timeout  = fs.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none); on expiry the run aborts with an error naming the shards completed")
 		seed     = fs.Uint64("seed", 1, "base seed; replica seeds derive from it")
 		replicas = fs.Int("replicas", 1, "independent fleet replications to pool")
 		parallel = fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS, 1 = serial)")
@@ -98,6 +117,13 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 	if *mixStr != "" {
 		var err error
 		if classes, err = fleet.ParseMix(*mixStr); err != nil {
+			return err
+		}
+	}
+	var faults *fleet.FaultSpec
+	if *faultStr != "" {
+		var err error
+		if faults, err = fleet.ParseFaults(*faultStr); err != nil {
 			return err
 		}
 	}
@@ -149,6 +175,7 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 			CoupleSize:    *coupleK,
 			BudgetFrac:    *budgetF,
 			GatewayWait:   *gateWait,
+			Faults:        faults,
 		},
 	}
 	par := experiment.Parallel{Workers: *parallel}
@@ -177,9 +204,28 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		}
 	}
 
+	// shardsDone counts folded shards cumulatively across replicas (the
+	// engine serializes Progress calls, one per shard) so the -timeout
+	// error can say how far the run got. Chains any -progress reporter.
+	shardsDone := 0
+	{
+		prev := par.Progress
+		par.Progress = func(done, total int) {
+			shardsDone++
+			if prev != nil {
+				prev(done, total)
+			}
+		}
+	}
+
 	// Ctrl-C cancels the pool; shards poll the context between chunks.
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	start := time.Now()
 	sum, err := experiment.RunFleetReplicatedCtx(ctx, sc, engine.DeriveSeeds(*seed, *replicas), par)
@@ -187,18 +233,25 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		fmt.Fprintln(os.Stderr) // terminate the \r-overwritten progress line
 	}
 	if err != nil {
-		return err
+		if *timeout > 0 && errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("wall-clock timeout %v exceeded after %d shards", *timeout, shardsDone)
+		}
+		if sum == nil {
+			return err
+		}
+		// Partial failure: report the surviving shards, then exit nonzero
+		// with the casualty list (deferred below so profiles still land).
 	}
 	elapsed := time.Since(start)
 
 	if *asJSON {
-		if err := writeJSON(w, sum, sc.Spec.Quantiles); err != nil {
-			return err
+		if jerr := writeJSON(w, sum, sc.Spec.Quantiles); jerr != nil {
+			return jerr
 		}
 	} else {
-		tab, err := experiment.FleetTable(sum)
-		if err != nil {
-			return err
+		tab, terr := experiment.FleetTable(sum)
+		if terr != nil {
+			return terr
 		}
 		experiment.RenderTable(w, tab.Title, tab.Headers, tab.Rows)
 		fmt.Fprintf(w, "# %s\n", tab.Note)
@@ -209,6 +262,10 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		sum.Fleet.Devices, elapsed.Round(time.Millisecond),
 		float64(sum.Fleet.Devices)/elapsed.Seconds(),
 		float64(elapsed.Nanoseconds())/float64(max(sum.Fleet.Events, 1)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "# PARTIAL RESULT: the report above covers surviving shards only")
+		return fmt.Errorf("partial failure: %w", err)
+	}
 	return nil
 }
 
@@ -225,6 +282,9 @@ type jsonGroup struct {
 	// Interference is present only on coupled runs, keeping uncoupled
 	// JSON byte-identical to the pre-coupling report.
 	Interference *jsonInterference `json:"interference,omitempty"`
+	// Resilience is present only on faulted runs (-faults), keeping
+	// unfaulted JSON byte-identical to the pre-fault report.
+	Resilience *jsonResilience `json:"resilience,omitempty"`
 }
 
 // jsonInterference carries the coupled-mode cross-device interference
@@ -233,6 +293,18 @@ type jsonInterference struct {
 	ResourceWaitMeanSec float64 `json:"resource_wait_mean_sec"`
 	ResourceDrops       int64   `json:"resource_drops"`
 	BudgetDenied        int64   `json:"budget_denied"`
+}
+
+// jsonResilience carries the fault-injection metrics of one aggregate
+// (or of the whole fleet).
+type jsonResilience struct {
+	Availability    float64 `json:"availability"`
+	DowntimeMeanSec float64 `json:"downtime_mean_sec"`
+	EnergyOutageJ   float64 `json:"energy_outage_j"`
+	Crashes         int64   `json:"crashes"`
+	Retries         int64   `json:"retries"`
+	RetryExhausted  int64   `json:"retry_exhausted"`
+	LostToOutage    int64   `json:"lost_to_outage"`
 }
 
 // jsonReport is the machine-readable fleet report.
@@ -260,13 +332,17 @@ type jsonReport struct {
 	Couple       string            `json:"couple,omitempty"`
 	CoupleSize   int               `json:"couple_size,omitempty"`
 	Interference *jsonInterference `json:"interference,omitempty"`
-	Classes      []jsonGroup       `json:"classes"`
-	Policies     []jsonGroup       `json:"policies"`
+	// Resilience appears only on faulted runs (-faults), keeping
+	// unfaulted JSON byte-identical to the pre-fault report.
+	Resilience *jsonResilience `json:"resilience,omitempty"`
+	Classes    []jsonGroup     `json:"classes"`
+	Policies   []jsonGroup     `json:"policies"`
 }
 
 // group flattens a ClassStats for JSON; coupled runs attach the
-// interference block.
-func group(c *fleet.ClassStats, coupled bool) jsonGroup {
+// interference block, faulted runs the resilience block (availability
+// computed against the fleet horizon).
+func group(c *fleet.ClassStats, coupled bool, horizonSec float64) jsonGroup {
 	g := jsonGroup{
 		Name:            c.Name,
 		Policy:          c.Policy,
@@ -282,6 +358,17 @@ func group(c *fleet.ClassStats, coupled bool) jsonGroup {
 			ResourceWaitMeanSec: c.ResourceWaitSec.Mean(),
 			ResourceDrops:       c.ResourceDrops,
 			BudgetDenied:        c.BudgetDenied,
+		}
+	}
+	if horizonSec > 0 {
+		g.Resilience = &jsonResilience{
+			Availability:    c.Availability(horizonSec),
+			DowntimeMeanSec: c.DowntimeSec.Mean(),
+			EnergyOutageJ:   c.EnergyOutageJ,
+			Crashes:         c.Crashes,
+			Retries:         c.Retries,
+			RetryExhausted:  c.RetryExhausted,
+			LostToOutage:    c.LostToOutage,
 		}
 	}
 	return g
@@ -332,12 +419,25 @@ func writeJSON(w io.Writer, sum *experiment.FleetSummary, quant fleet.QuantileMo
 			BudgetDenied:        sum.Fleet.BudgetDenied,
 		}
 	}
+	groupHorizon := 0.0 // zero disables the per-group resilience block
+	if sum.Fleet.Faulted {
+		groupHorizon = sum.Fleet.HorizonSec
+		rep.Resilience = &jsonResilience{
+			Availability:    sum.Fleet.Availability(),
+			DowntimeMeanSec: sum.Fleet.DowntimeSec.Mean(),
+			EnergyOutageJ:   sum.Fleet.EnergyOutageJ,
+			Crashes:         sum.Fleet.Crashes,
+			Retries:         sum.Fleet.Retries,
+			RetryExhausted:  sum.Fleet.RetryExhausted,
+			LostToOutage:    sum.Fleet.LostToOutage,
+		}
+	}
 	for i := range sum.Fleet.Classes {
-		rep.Classes = append(rep.Classes, group(&sum.Fleet.Classes[i], coupled))
+		rep.Classes = append(rep.Classes, group(&sum.Fleet.Classes[i], coupled, groupHorizon))
 	}
 	perPol := sum.Fleet.PerPolicy()
 	for i := range perPol {
-		rep.Policies = append(rep.Policies, group(&perPol[i], coupled))
+		rep.Policies = append(rep.Policies, group(&perPol[i], coupled, groupHorizon))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

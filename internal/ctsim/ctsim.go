@@ -89,6 +89,12 @@ type Config struct {
 	// batched ticks bypass the service-start hook). nil disables
 	// arbitration — the uncoupled path makes no hook calls at all.
 	Resource Resource
+	// Faults, when non-nil, enables deterministic fault injection:
+	// device crash/repair cycles and transient service failures with
+	// bounded retry + exponential backoff. Requires sequential service.
+	// nil disables the layer — a fault-free run makes no fault-stream
+	// draws and is bit-identical to a build without the fault code.
+	Faults *Faults
 }
 
 // Validate checks the configuration and fills its defaults in place.
@@ -142,7 +148,7 @@ func (c *Config) validate() error {
 	if c.SlotCompatible && c.BatchServe < 1 {
 		return fmt.Errorf("ctsim: decision period %v shorter than service time %v", c.DecisionPeriod, c.ServiceTime)
 	}
-	return nil
+	return c.validateFaults()
 }
 
 // Observation is what a policy sees at a decision point.
@@ -227,6 +233,25 @@ type Metrics struct {
 	// via AllowTransition (budget-denied transitions). Denied commands
 	// are not counted in Commands or Clamped.
 	BudgetDenied int64
+
+	// Resilience metrics, all zero on a fault-free run (Config.Faults
+	// nil and no DropOutage verdicts from the Resource).
+
+	// DowntimeSec is the time spent crashed (no power draw, no state
+	// occupancy, no service).
+	DowntimeSec float64
+	// EnergyOutageJ is the energy burned while the device was settled
+	// but held idle by a retry backoff — power spent making no
+	// progress because of a fault.
+	EnergyOutageJ float64
+	// Crashes counts crash events; Retries counts retried service
+	// failures; RetryExhausted counts requests dropped after their
+	// retry budget ran out (each also counts in Lost).
+	Crashes, Retries, RetryExhausted int64
+	// LostToOutage counts requests lost to an outage: dropped by a
+	// DropOutage resource verdict, or shed against the queue cap while
+	// the device was crashed. Each also counts in Lost.
+	LostToOutage int64
 }
 
 // AvgPowerW returns the mean power in watts.
@@ -251,6 +276,15 @@ func (m *Metrics) MeanBacklog() float64 {
 		return 0
 	}
 	return m.BacklogSeconds / m.Horizon
+}
+
+// Availability returns the fraction of the horizon the device was up
+// (1 on a fault-free run).
+func (m *Metrics) Availability() float64 {
+	if m.Horizon == 0 {
+		return 1
+	}
+	return 1 - m.DowntimeSec/m.Horizon
 }
 
 // LossRate returns the fraction of arrivals that were dropped.
@@ -286,6 +320,9 @@ type Sim struct {
 	hServeDone eventq.Handler
 	hTransDone eventq.Handler
 	hWake      eventq.Handler
+	hCrash     eventq.Handler
+	hRepair    eventq.Handler
+	hRetry     eventq.Handler
 
 	// Device state.
 	phase       device.StateID
@@ -318,6 +355,15 @@ type Sim struct {
 	resWaiting bool    // queued in the resource's FIFO wait queue
 	resHeld    bool    // holding a grant (serving through the resource)
 	resReqAt   float64 // time the outstanding request was queued
+
+	// Fault injection (cfg.Faults != nil).
+	faulted   bool       // crashed, awaiting repair
+	retryHold bool       // head request backing off after a failure
+	retries   int        // head request's consecutive failure count
+	crashEv   eventq.Ref // pending crash
+	repairEv  eventq.Ref // pending repair (while faulted)
+	retryEv   eventq.Ref // pending backoff expiry (while retryHold)
+	transEv   eventq.Ref // pending transition completion (canceled on crash)
 
 	// kernelShared marks a simulator built by NewShared: the kernel's
 	// lifecycle (Reset, Run) belongs to the coupled-group driver, so
@@ -384,6 +430,9 @@ func newSim(k *eventq.Kernel, shared bool, cfg Config) (*Sim, error) {
 	s.hServeDone = s.onServeDone
 	s.hTransDone = s.onTransDone
 	s.hWake = s.onWake
+	s.hCrash = s.onCrash
+	s.hRepair = s.onRepair
+	s.hRetry = s.onRetry
 	if err := s.init(cfg); err != nil {
 		return nil, err
 	}
@@ -449,6 +498,13 @@ func (s *Sim) apply(cfg Config) error {
 	s.resWaiting = false
 	s.resHeld = false
 	s.resReqAt = 0
+	s.faulted = false
+	s.retryHold = false
+	s.retries = 0
+	s.crashEv = eventq.Ref{}
+	s.repairEv = eventq.Ref{}
+	s.retryEv = eventq.Ref{}
+	s.transEv = eventq.Ref{}
 	s.wakeEv = eventq.Ref{}
 	s.haveEpoch = false
 	s.epochObs = Observation{}
@@ -473,6 +529,9 @@ func (s *Sim) apply(cfg Config) error {
 		}
 	}
 	s.scheduleNextArrival()
+	if f := cfg.Faults; f != nil && f.CrashMTBF > 0 {
+		s.scheduleNextCrash()
+	}
 	return nil
 }
 
@@ -643,12 +702,23 @@ func (s *Sim) advance(t float64) {
 	if dt <= 0 {
 		return
 	}
-	if s.transInProg {
+	if s.faulted {
+		// Crashed: no power draw, no state occupancy — only downtime.
+		// (A crash abandons any in-progress transition, so the branch
+		// above cannot race this one.)
+		s.metrics.DowntimeSec += dt
+	} else if s.transInProg {
 		s.metrics.EnergyJ += s.transPower * dt
 		s.metrics.TransitionTime += dt
 	} else {
-		s.metrics.EnergyJ += s.cfg.Device.States[s.phase].Power * dt
+		p := s.cfg.Device.States[s.phase].Power
+		s.metrics.EnergyJ += p * dt
 		s.metrics.StateTime[s.phase] += dt
+		if s.retryHold {
+			// Settled but held idle by a retry backoff: the same joules
+			// also count as outage energy (power spent not progressing).
+			s.metrics.EnergyOutageJ += p * dt
+		}
 	}
 	s.accrueT = t
 }
@@ -687,6 +757,9 @@ func (s *Sim) onArrival(now float64) {
 	s.metrics.Arrived++
 	if !s.q.Push(now) {
 		s.metrics.Lost++
+		if s.faulted {
+			s.metrics.LostToOutage++
+		}
 	}
 	s.lastArrival = now
 	s.scheduleNextArrival()
@@ -712,6 +785,9 @@ func (s *Sim) maybeStartService(now float64) {
 	if s.cfg.SlotCompatible || s.serving || s.transInProg || s.resWaiting || s.q.Len() == 0 {
 		return
 	}
+	if s.faulted || s.retryHold {
+		return
+	}
 	if !s.cfg.Device.States[s.phase].CanService {
 		return
 	}
@@ -729,8 +805,19 @@ func (s *Sim) maybeStartService(now float64) {
 			// per triggering event.
 			s.accrueBacklog(now)
 			s.q.Pop()
+			s.retries = 0
 			s.metrics.Lost++
 			s.metrics.ResourceDrops++
+			return
+		case DropOutage:
+			// Shed by a resource inside a scheduled outage window: same
+			// mechanics as Drop, attributed to the outage instead of
+			// steady-state contention.
+			s.accrueBacklog(now)
+			s.q.Pop()
+			s.retries = 0
+			s.metrics.Lost++
+			s.metrics.LostToOutage++
 			return
 		}
 		s.resHeld = true
@@ -763,8 +850,15 @@ func (s *Sim) onServeDone(now float64) {
 		s.resHeld = false
 		s.cfg.Resource.ReleaseService(now, s)
 	}
+	// Transient failure coin flip: the attempt consumed its service time
+	// (and resource occupancy) either way.
+	if f := s.cfg.Faults; f != nil && f.FailProb > 0 && f.Stream.Float64() < f.FailProb {
+		s.serveFailed(now, f)
+		return
+	}
 	s.accrueBacklog(now)
 	stamp := s.q.Pop()
+	s.retries = 0
 	s.metrics.Served++
 	s.metrics.WaitSeconds += now - stamp
 	s.maybeStartService(now)
@@ -801,6 +895,7 @@ func (s *Sim) abortService() {
 // Transitions
 
 func (s *Sim) onTransDone(now float64) {
+	s.transEv = eventq.Ref{}
 	s.advance(now) // settles (idempotent if an earlier advance already did)
 	if !s.cfg.SlotCompatible {
 		s.maybeStartService(now) // no-op under batched service
@@ -847,6 +942,11 @@ func (s *Sim) tick(now float64) {
 	s.emitFeedback(now, obs)
 	if s.transInProg {
 		s.lastAction = s.transTarget
+	} else if s.faulted {
+		// Crashed: no decision to make — the device is down and the
+		// feedback above is how a periodic learner sees the outage (a
+		// growing queue, no service, no progress).
+		s.lastAction = s.phase
 	} else {
 		s.decide(now, obs)
 		if !s.cfg.SlotCompatible {
@@ -865,7 +965,7 @@ func (s *Sim) tick(now float64) {
 // the device is settled (a transition in progress defers the decision to
 // its completion, preserving the SMDP epoch structure).
 func (s *Sim) decisionPoint(now float64) {
-	if s.transInProg {
+	if s.transInProg || s.faulted {
 		return
 	}
 	s.advance(now)
@@ -992,7 +1092,7 @@ func (s *Sim) execTransition(now float64, target device.StateID) {
 		s.transTarget = target
 		s.transEnd = now + tr.Latency
 		s.transPower = tr.Energy / tr.Latency
-		s.k.Schedule(s.transEnd, s.hTransDone)
+		s.transEv, _ = s.k.Schedule(s.transEnd, s.hTransDone)
 	}
 }
 

@@ -1,0 +1,180 @@
+package ctsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/eventq"
+	"repro/internal/rng"
+)
+
+// Faults configures deterministic fault injection. nil (the default)
+// disables the fault layer entirely: the simulator makes no fault
+// branches' calls and no fault-stream draws, so a fault-free run is
+// bit-identical to one on a build without the fault code.
+//
+// All randomness comes from Stream, a lane dedicated to faults and
+// separate from the policy and arrival lanes, so enabling faults never
+// perturbs the arrival or policy draw sequences and fault schedules
+// are reproducible bit-for-bit for any worker-pool size.
+type Faults struct {
+	// CrashMTBF is the mean operating time between device crashes in
+	// seconds (exponentially distributed; the crash clock runs only
+	// while the device is up). 0 disables crashes.
+	CrashMTBF float64
+	// RepairMean is the mean repair (downtime) duration in seconds
+	// (exponential). Required (> 0) when CrashMTBF > 0.
+	RepairMean float64
+	// FailProb is the probability that a completed service attempt
+	// fails transiently, in [0, 1). 0 disables transient failures.
+	FailProb float64
+	// RetryMax is the per-request retry budget: a request may fail
+	// RetryMax times and still be retried; failure RetryMax+1 drops it
+	// as lost (Metrics.RetryExhausted). Must be in [0, 62] (the backoff
+	// doubles per consecutive failure, so 62 bounds the shift).
+	RetryMax int
+	// Backoff is the delay before the first retry in seconds; each
+	// consecutive failure of the same request doubles it. Required
+	// (> 0) when FailProb > 0.
+	Backoff float64
+	// Stream supplies the fault randomness (crash times, repair times,
+	// failure coin flips). Required when CrashMTBF > 0 or FailProb > 0.
+	Stream *rng.Stream
+}
+
+// validateFaults checks c.Faults (nil is valid: faults disabled).
+func (c *Config) validateFaults() error {
+	f := c.Faults
+	if f == nil {
+		return nil
+	}
+	if c.SlotCompatible {
+		return fmt.Errorf("ctsim: faults require sequential service (slot-compatible batching bypasses the service-completion hook)")
+	}
+	if f.CrashMTBF < 0 || math.IsNaN(f.CrashMTBF) || math.IsInf(f.CrashMTBF, 0) {
+		return fmt.Errorf("ctsim: crash MTBF %v must be >= 0 and finite", f.CrashMTBF)
+	}
+	if f.CrashMTBF > 0 && (!(f.RepairMean > 0) || math.IsInf(f.RepairMean, 0)) {
+		return fmt.Errorf("ctsim: repair mean %v must be positive and finite when crashes are enabled", f.RepairMean)
+	}
+	if !(f.FailProb >= 0 && f.FailProb < 1) {
+		return fmt.Errorf("ctsim: failure probability %v must be in [0, 1)", f.FailProb)
+	}
+	if f.FailProb > 0 {
+		if !(f.Backoff > 0) || math.IsInf(f.Backoff, 0) {
+			return fmt.Errorf("ctsim: retry backoff %v must be positive and finite when transient failures are enabled", f.Backoff)
+		}
+		if f.RetryMax < 0 || f.RetryMax > 62 {
+			return fmt.Errorf("ctsim: retry budget %d must be in [0, 62]", f.RetryMax)
+		}
+	}
+	if (f.CrashMTBF > 0 || f.FailProb > 0) && f.Stream == nil {
+		return fmt.Errorf("ctsim: faults need a dedicated rng stream")
+	}
+	return nil
+}
+
+// scheduleNextCrash draws the next time-to-failure and schedules the
+// crash. The draw always happens (the fault stream's consumption is a
+// function of simulated history alone), but a crash landing beyond the
+// hard horizon can never fire and skips the kernel insert.
+func (s *Sim) scheduleNextCrash() {
+	f := s.cfg.Faults
+	t := s.k.Now() + f.CrashMTBF*f.Stream.ExpFloat64()
+	if t > s.hardHorizon {
+		return
+	}
+	s.crashEv, _ = s.k.Schedule(t, s.hCrash)
+}
+
+// onCrash fails the device: in-flight work dies with it (an active
+// service is aborted and its resource grant released, a queued resource
+// wait withdrawn, a pending retry canceled — the head request keeps its
+// failure history — and an in-progress transition is abandoned), and
+// the device goes dark for a sampled repair time. Queued requests stay
+// queued and keep aging; arrivals during the outage still queue (or
+// drop against the cap, counted as LostToOutage).
+func (s *Sim) onCrash(now float64) {
+	s.crashEv = eventq.Ref{}
+	s.advance(now)
+	s.metrics.Crashes++
+	s.abortService()
+	if s.retryHold {
+		s.k.Cancel(s.retryEv)
+		s.retryEv = eventq.Ref{}
+		s.retryHold = false
+	}
+	// Abandon any in-progress transition: its completion event must not
+	// settle a dead device. Cancel tolerates the zero Ref, and advance
+	// above has already charged the transition's energy up to now.
+	s.k.Cancel(s.transEv)
+	s.transEv = eventq.Ref{}
+	s.transInProg = false
+	s.k.Cancel(s.wakeEv)
+	s.wakeEv = eventq.Ref{}
+	s.faulted = true
+	t := now + s.cfg.Faults.RepairMean*s.cfg.Faults.Stream.ExpFloat64()
+	if t > s.hardHorizon {
+		return // down through the horizon
+	}
+	s.repairEv, _ = s.k.Schedule(t, s.hRepair)
+}
+
+// onRepair brings the device back: it reboots into the configured
+// initial state (settled, drawing that state's power again), the next
+// crash clock starts, and service/decisions resume against whatever
+// backlog accumulated during the outage.
+func (s *Sim) onRepair(now float64) {
+	s.repairEv = eventq.Ref{}
+	s.advance(now) // closes the downtime span
+	s.faulted = false
+	s.phase = s.cfg.InitialState
+	s.transTarget = s.cfg.InitialState
+	s.settledAt = now
+	s.lastAction = s.cfg.InitialState
+	s.scheduleNextCrash()
+	s.maybeStartService(now)
+	if !s.periodic() {
+		s.decisionPoint(now)
+	}
+}
+
+// serveFailed handles a transient failure of the service attempt that
+// just completed: the request stays at the queue head (its wait
+// continues) and re-enters service after an exponential backoff, or is
+// dropped once its retry budget is exhausted.
+func (s *Sim) serveFailed(now float64, f *Faults) {
+	s.advance(now) // close the accrual span before the outage-energy window
+	s.retries++
+	if s.retries > f.RetryMax {
+		s.accrueBacklog(now)
+		s.q.Pop()
+		s.retries = 0
+		s.metrics.Lost++
+		s.metrics.RetryExhausted++
+		s.maybeStartService(now)
+		if !s.periodic() {
+			s.decisionPoint(now)
+		}
+		return
+	}
+	s.metrics.Retries++
+	s.retryHold = true
+	s.retryEv, _ = s.k.After(f.Backoff*float64(uint64(1)<<uint(s.retries-1)), s.hRetry)
+	if !s.periodic() {
+		s.decisionPoint(now)
+	}
+}
+
+// onRetry ends a backoff hold: the head request re-enters service
+// through the normal start path (including resource arbitration, where
+// it queues FIFO behind any waiters that accumulated meanwhile).
+func (s *Sim) onRetry(now float64) {
+	s.retryEv = eventq.Ref{}
+	s.advance(now) // closes the outage-energy span
+	s.retryHold = false
+	s.maybeStartService(now)
+	if !s.periodic() {
+		s.decisionPoint(now)
+	}
+}

@@ -24,6 +24,11 @@ const (
 	// Metrics.ResourceDrops) and retries no earlier than its next state
 	// change. Bounded-gateway semantics.
 	Drop
+	// DropOutage rejects the request because the resource is inside a
+	// scheduled outage window (see shared.Outageable): same mechanics as
+	// Drop, but the loss is attributed to the outage — counted in
+	// Metrics.Lost and Metrics.LostToOutage, not ResourceDrops.
+	DropOutage
 )
 
 // Resource arbitrates shared capacity among the simulation instances

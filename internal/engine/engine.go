@@ -26,6 +26,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -84,6 +85,35 @@ type PanicError struct {
 // Error implements error.
 func (e *PanicError) Error() string {
 	return fmt.Sprintf("engine: job %d panicked: %v", e.Index, e.Value)
+}
+
+// JobError records one failed job of a keep-going run.
+type JobError struct {
+	// Index is the failed job's index.
+	Index int
+	// Err is the job's error (a *PanicError if the job panicked).
+	Err error
+}
+
+// Error implements error.
+func (e *JobError) Error() string { return fmt.Sprintf("engine: job %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the job's underlying error to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// PartialError reports that a keep-going run finished with some jobs
+// failed: every other job ran and was reduced, and Failed lists the
+// casualties in job-index order.
+type PartialError struct {
+	// Failed holds one entry per failed job, ascending by index.
+	Failed []JobError
+	// Total is the run's job count.
+	Total int
+}
+
+// Error implements error.
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("engine: %d of %d jobs failed; first: %v", len(e.Failed), e.Total, &e.Failed[0])
 }
 
 // Map runs fn(ctx, i) for every i in [0, n) on p's worker pool and returns
@@ -222,6 +252,38 @@ func MapReduceWorkers[T any](ctx context.Context, p *Pool, n int,
 	fn func(ctx context.Context, worker, i int) (T, error),
 	reduce func(i int, v T) error,
 ) error {
+	return mapReduceWorkers(ctx, p, n, fn, reduce, false)
+}
+
+// MapReduceWorkersKeepGoing is MapReduceWorkers with failure isolation
+// inverted: a job that errors or panics no longer cancels the run —
+// its slot is skipped in the fold (reduce is never called for it) and
+// every other job still runs and reduces in strict index order. If any
+// jobs failed, the call returns a *PartialError listing them by index;
+// context cancellation (and job errors caused by it) remains fatal and
+// behaves exactly like MapReduceWorkers.
+//
+// This is the graceful-degradation discipline for long fan-outs where
+// one poisoned shard should cost its own results, not the whole run.
+func MapReduceWorkersKeepGoing[T any](ctx context.Context, p *Pool, n int,
+	fn func(ctx context.Context, worker, i int) (T, error),
+	reduce func(i int, v T) error,
+) error {
+	return mapReduceWorkers(ctx, p, n, fn, reduce, true)
+}
+
+// reduceSlot is one buffered mapReduceWorkers result: a value to fold,
+// or (keep-going mode) a failure to skip past.
+type reduceSlot[T any] struct {
+	v   T
+	err error // non-nil: the job failed; skip the fold for this index
+}
+
+func mapReduceWorkers[T any](ctx context.Context, p *Pool, n int,
+	fn func(ctx context.Context, worker, i int) (T, error),
+	reduce func(i int, v T) error,
+	keepGoing bool,
+) error {
 	if n < 0 {
 		return fmt.Errorf("engine: negative job count %d", n)
 	}
@@ -246,7 +308,8 @@ func MapReduceWorkers[T any](ctx context.Context, p *Pool, n int,
 		done     int
 		firstErr error
 		next     int
-		pending  = make(map[int]T, window)
+		pending  = make(map[int]reduceSlot[T], window)
+		failed   []JobError
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -256,21 +319,25 @@ func MapReduceWorkers[T any](ctx context.Context, p *Pool, n int,
 		mu.Unlock()
 		cancel()
 	}
-	// deliver buffers one result and folds every consecutively available
-	// result from `next` on, releasing one token per folded job. Calls
-	// are serialized under mu, so reduce needs no locking of its own and
-	// the fold order is exactly 0, 1, 2, ...
-	deliver := func(i int, v T) error {
+	// deliver buffers one result (or, keep-going, one failure) and folds
+	// every consecutively available result from `next` on, releasing one
+	// token per advanced index. Calls are serialized under mu, so reduce
+	// needs no locking of its own and the fold order is exactly 0, 1,
+	// 2, ... — failed slots are skipped, never reduced, and recorded in
+	// `failed` in that same order.
+	deliver := func(i int, s reduceSlot[T]) error {
 		mu.Lock()
 		defer mu.Unlock()
-		pending[i] = v
+		pending[i] = s
 		for {
-			v, ok := pending[next]
+			s, ok := pending[next]
 			if !ok {
 				return nil
 			}
 			delete(pending, next)
-			if err := reduce(next, v); err != nil {
+			if s.err != nil {
+				failed = append(failed, JobError{Index: next, Err: s.err})
+			} else if err := reduce(next, s.v); err != nil {
 				return fmt.Errorf("engine: reduce %d: %w", next, err)
 			}
 			next++
@@ -285,15 +352,31 @@ func MapReduceWorkers[T any](ctx context.Context, p *Pool, n int,
 	runJob := func(worker, i int) {
 		defer func() {
 			if v := recover(); v != nil {
-				fail(&PanicError{Index: i, Value: v, Stack: debug.Stack()})
+				perr := &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+				if !keepGoing {
+					fail(perr)
+					return
+				}
+				if err := deliver(i, reduceSlot[T]{err: perr}); err != nil {
+					fail(err)
+				}
 			}
 		}()
 		v, err := fn(ctx, worker, i)
 		if err != nil {
-			fail(fmt.Errorf("engine: job %d: %w", i, err))
+			// Cancellation-shaped errors stay fatal even in keep-going
+			// mode: once the context is done, skipping ahead would just
+			// churn jobs that are all about to fail the same way.
+			if !keepGoing || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				fail(fmt.Errorf("engine: job %d: %w", i, err))
+				return
+			}
+			if err := deliver(i, reduceSlot[T]{err: err}); err != nil {
+				fail(err)
+			}
 			return
 		}
-		if err := deliver(i, v); err != nil {
+		if err := deliver(i, reduceSlot[T]{v: v}); err != nil {
 			fail(err)
 		}
 	}
@@ -331,7 +414,13 @@ dispatch:
 	if err != nil {
 		return err
 	}
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(failed) > 0 {
+		return &PartialError{Failed: failed, Total: n}
+	}
+	return nil
 }
 
 // DeriveSeeds expands a base seed into n deterministic, statistically

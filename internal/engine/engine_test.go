@@ -371,6 +371,124 @@ func TestMapReduceWorkersErrors(t *testing.T) {
 	}
 }
 
+// TestMapReduceKeepGoingSkipsFailures: in keep-going mode a job error
+// or panic drops only its own slot — every other job still reduces, in
+// strict index order — and the run reports the casualties as a
+// *PartialError listing them ascending by index.
+func TestMapReduceKeepGoingSkipsFailures(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var got []int
+		err := MapReduceWorkersKeepGoing(context.Background(), &Pool{Workers: workers}, 60,
+			func(_ context.Context, _, i int) (int, error) {
+				switch {
+				case i%10 == 3:
+					return 0, boom
+				case i == 25:
+					panic("job 25 exploded")
+				}
+				return i, nil
+			},
+			func(i, v int) error {
+				got = append(got, v) // no lock: reduce calls are serialized
+				if v != i {
+					return fmt.Errorf("reduce(%d) got %d", i, v)
+				}
+				return nil
+			})
+		var pe *PartialError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: want *PartialError, got %v", workers, err)
+		}
+		wantFailed := []int{3, 13, 23, 25, 33, 43, 53}
+		if pe.Total != 60 || len(pe.Failed) != len(wantFailed) {
+			t.Fatalf("workers=%d: partial = %v", workers, pe)
+		}
+		for j, je := range pe.Failed {
+			if je.Index != wantFailed[j] {
+				t.Fatalf("workers=%d: failed[%d].Index = %d, want %d (ascending order)", workers, j, je.Index, wantFailed[j])
+			}
+			if je.Index == 25 {
+				var perr *PanicError
+				if !errors.As(je.Err, &perr) || perr.Index != 25 {
+					t.Fatalf("workers=%d: panic not captured as PanicError: %v", workers, je.Err)
+				}
+			} else if !errors.Is(je.Err, boom) {
+				t.Fatalf("workers=%d: job %d error lost: %v", workers, je.Index, je.Err)
+			}
+		}
+		if len(got) != 60-len(wantFailed) {
+			t.Fatalf("workers=%d: reduced %d results, want %d", workers, len(got), 60-len(wantFailed))
+		}
+		want := 0
+		for _, v := range got {
+			for want%10 == 3 || want == 25 {
+				want++
+			}
+			if v != want {
+				t.Fatalf("workers=%d: fold order broken: got %d, want %d", workers, v, want)
+			}
+			want++
+		}
+	}
+}
+
+// TestMapReduceKeepGoingCleanRun: with no failures, keep-going mode is
+// indistinguishable from MapReduceWorkers (nil error, full fold).
+func TestMapReduceKeepGoingCleanRun(t *testing.T) {
+	var got []int
+	err := MapReduceWorkersKeepGoing(context.Background(), &Pool{Workers: 3}, 40,
+		func(_ context.Context, _, i int) (int, error) { return i, nil },
+		func(i, v int) error {
+			got = append(got, v)
+			return nil
+		})
+	if err != nil || len(got) != 40 {
+		t.Fatalf("clean keep-going run: err=%v, reduced=%d", err, len(got))
+	}
+}
+
+// TestMapReduceKeepGoingCancellationStillFatal: context cancellation —
+// and job errors shaped like it — aborts a keep-going run exactly like
+// the fail-fast variant; it must not be recorded as a skippable
+// failure.
+func TestMapReduceKeepGoingCancellationStillFatal(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	reduced := 0
+	err := MapReduceWorkersKeepGoing(ctx, &Pool{Workers: 2}, 500,
+		func(ctx context.Context, _, i int) (int, error) {
+			if i == 20 {
+				cancel()
+			}
+			return i, ctx.Err()
+		},
+		func(int, int) error { reduced++; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	var pe *PartialError
+	if errors.As(err, &pe) {
+		t.Fatalf("cancellation misreported as partial failure: %v", pe)
+	}
+	if reduced >= 500 {
+		t.Fatal("cancellation did not stop the run")
+	}
+
+	// A reduce error is also still fatal.
+	boom := errors.New("boom")
+	err = MapReduceWorkersKeepGoing(context.Background(), &Pool{Workers: 2}, 50,
+		func(_ context.Context, _, i int) (int, error) { return i, nil },
+		func(i, _ int) error {
+			if i == 7 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("reduce error lost: %v", err)
+	}
+}
+
 // TestSeedForProperties: SeedFor is deterministic, O(1)-pure (same
 // (base, i) -> same seed), and collision-free across a large index range
 // and across nearby bases.

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/fleet"
@@ -78,6 +79,12 @@ func RunFleetReplicated(sc FleetScenario, seeds []uint64) (*FleetSummary, error)
 // lives inside each fleet run, which fans its shards across the pool —
 // and fold in seed order, so the result honours the repository
 // determinism contract: bit-identical output for every -parallel value.
+//
+// Graceful degradation passes through from fleet.Run: a replica that
+// fails some shards (*fleet.PartialError) still folds its surviving
+// summary, the remaining replicas still run, and the call returns the
+// pooled summary alongside the joined per-replica partial errors. Any
+// other error stays fatal (nil summary).
 func RunFleetReplicatedCtx(ctx context.Context, sc FleetScenario, seeds []uint64, par Parallel) (*FleetSummary, error) {
 	if len(seeds) == 0 {
 		return nil, errNoSeeds
@@ -86,16 +93,21 @@ func RunFleetReplicatedCtx(ctx context.Context, sc FleetScenario, seeds []uint64
 		return nil, err
 	}
 	sum := &FleetSummary{Scenario: sc.Name}
+	var partial error
 	for _, seed := range seeds {
 		spec := sc.Spec
 		spec.Seed = seed
 		f, err := fleet.Run(ctx, spec, par.pool())
 		if err != nil {
-			return nil, err
+			var pe *fleet.PartialError
+			if !errors.As(err, &pe) {
+				return nil, err
+			}
+			partial = errors.Join(partial, fmt.Errorf("replica seed %d: %w", seed, pe))
 		}
 		sum.addReplica(f)
 	}
-	return sum, nil
+	return sum, partial
 }
 
 // ---------------------------------------------------------------------------
@@ -141,11 +153,15 @@ func FleetTable(sum *FleetSummary) (*Table, error) {
 		replicas = 1
 	}
 	coupled := sum.Fleet.Couple != fleet.CoupleNone
+	faulted := sum.Fleet.Faulted
 	kernel := string(sum.Fleet.Mode)
 	if coupled {
 		kernel = fmt.Sprintf("%s kernel, coupled %s ×%d", sum.Fleet.Mode, sum.Fleet.Couple, sum.Fleet.CoupleSize)
 	} else {
 		kernel += " kernel"
+	}
+	if faulted {
+		kernel += ", faulted"
 	}
 	// Fleet.Devices accumulates across replicas; the title names the
 	// per-replica fleet size, matching the note.
@@ -156,6 +172,9 @@ func FleetTable(sum *FleetSummary) (*Table, error) {
 	}
 	if coupled {
 		t.Headers = append(t.Headers, "res.wait (s)", "drops", "denied")
+	}
+	if faulted {
+		t.Headers = append(t.Headers, "avail", "crashes", "retries")
 	}
 	row := func(name string, c *fleet.ClassStats) {
 		cells := []string{
@@ -173,6 +192,13 @@ func FleetTable(sum *FleetSummary) (*Table, error) {
 				fmt.Sprintf("%.3f", c.ResourceWaitSec.Mean()),
 				fmt.Sprintf("%d", c.ResourceDrops),
 				fmt.Sprintf("%d", c.BudgetDenied),
+			)
+		}
+		if faulted {
+			cells = append(cells,
+				fmt.Sprintf("%.4f", c.Availability(sum.Fleet.HorizonSec)),
+				fmt.Sprintf("%d", c.Crashes),
+				fmt.Sprintf("%d", c.Retries),
 			)
 		}
 		t.Rows = append(t.Rows, cells)
@@ -195,6 +221,12 @@ func FleetTable(sum *FleetSummary) (*Table, error) {
 		ResourceWaitSec: sum.Fleet.ResourceWaitSec,
 		ResourceDrops:   sum.Fleet.ResourceDrops,
 		BudgetDenied:    sum.Fleet.BudgetDenied,
+		DowntimeSec:     sum.Fleet.DowntimeSec,
+		EnergyOutageJ:   sum.Fleet.EnergyOutageJ,
+		Crashes:         sum.Fleet.Crashes,
+		Retries:         sum.Fleet.Retries,
+		RetryExhausted:  sum.Fleet.RetryExhausted,
+		LostToOutage:    sum.Fleet.LostToOutage,
 	}
 	row("fleet", fl)
 	p50, err := sum.Fleet.WaitQuantile(0.50)
@@ -217,6 +249,11 @@ func FleetTable(sum *FleetSummary) (*Table, error) {
 	if coupled {
 		t.Note += fmt.Sprintf("; contention wait mean %.3f s, %d gateway drops, %d budget denials",
 			sum.Fleet.ResourceWaitSec.Mean(), sum.Fleet.ResourceDrops, sum.Fleet.BudgetDenied)
+	}
+	if faulted {
+		t.Note += fmt.Sprintf("; availability %.4f, %d crashes, %d retries (%d exhausted), %d lost to outages, %.1f J burned in outages",
+			sum.Fleet.Availability(), sum.Fleet.Crashes, sum.Fleet.Retries,
+			sum.Fleet.RetryExhausted, sum.Fleet.LostToOutage, sum.Fleet.EnergyOutageJ)
 	}
 	return t, nil
 }
@@ -290,6 +327,96 @@ func TableCoupledFleetCtx(ctx context.Context, devices int, horizon float64, cou
 			return nil, err
 		}
 		note += fmt.Sprintf(" %d→%.3f s", k, p99)
+	}
+	t.Note = note
+	return t, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table Faulted Fleet — policies under fault severity
+
+// FaultLevel is one severity rung of the faulted-fleet sweep.
+type FaultLevel struct {
+	// Name labels the level ("none", "mild", ...).
+	Name string
+	// Faults is the level's fault spec; nil is the fault-free baseline.
+	Faults *fleet.FaultSpec
+}
+
+// DefaultFaultLevels is the canonical severity ladder: a fault-free
+// baseline, then crash/retry regimes of rising crash rate, repair
+// length, and transient-failure probability.
+func DefaultFaultLevels() []FaultLevel {
+	return []FaultLevel{
+		{Name: "none"},
+		{Name: "mild", Faults: &fleet.FaultSpec{CrashMTBF: 400, RepairMean: 5, FailProb: 0.02}},
+		{Name: "moderate", Faults: &fleet.FaultSpec{CrashMTBF: 150, RepairMean: 10, FailProb: 0.05}},
+		{Name: "severe", Faults: &fleet.FaultSpec{CrashMTBF: 60, RepairMean: 20, FailProb: 0.15}},
+	}
+}
+
+// TableFaultedFleet compares the canonical mix's policies across the
+// default fault-severity ladder.
+func TableFaultedFleet(devices int, horizon float64, seeds []uint64) (*Table, error) {
+	return TableFaultedFleetCtx(context.Background(), devices, horizon, DefaultFaultLevels(), seeds, Parallel{})
+}
+
+// TableFaultedFleetCtx is TableFaultedFleet with explicit levels,
+// cancellation, and pool control; output is bit-identical for every
+// -parallel value. The note tracks the resilience acceptance signal:
+// fleet availability per severity level, which falls as faults
+// intensify while the policies' losses and waits spread apart.
+func TableFaultedFleetCtx(ctx context.Context, devices int, horizon float64, levels []FaultLevel, seeds []uint64, par Parallel) (*Table, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("experiment: faulted fleet table needs at least one fault level")
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Table Faulted Fleet — %d devices under %d fault levels", devices, len(levels)),
+		Headers: []string{"level", "policy", "power (W)", "wait (s)", "loss", "avail", "crashes", "retries", "energy red."},
+	}
+	note := "availability by level:"
+	for _, lv := range levels {
+		sc := FleetScenario{
+			Name: "faulted-" + lv.Name,
+			Spec: fleet.Spec{
+				Devices: devices,
+				Classes: fleet.DefaultMix(),
+				Mode:    fleet.ModeCT,
+				Horizon: horizon,
+				Faults:  lv.Faults,
+			},
+		}
+		sum, err := RunFleetReplicatedCtx(ctx, sc, seeds, par)
+		if err != nil {
+			return nil, err
+		}
+		row := func(label string, c *fleet.ClassStats) {
+			t.Rows = append(t.Rows, []string{
+				lv.Name,
+				label,
+				fmt.Sprintf("%.4f", c.AvgPowerW.Mean()),
+				fmt.Sprintf("%.3f", c.MeanWaitSec.Mean()),
+				fmt.Sprintf("%.2f%%", 100*c.LossRate.Mean()),
+				fmt.Sprintf("%.4f", c.Availability(sum.Fleet.HorizonSec)),
+				fmt.Sprintf("%d", c.Crashes),
+				fmt.Sprintf("%d", c.Retries),
+				fmt.Sprintf("%.1f%%", 100*c.EnergyReduction.Mean()),
+			})
+		}
+		perPol := sum.Fleet.PerPolicy()
+		for i := range perPol {
+			row(perPol[i].Policy, &perPol[i])
+		}
+		row("fleet", &fleet.ClassStats{
+			AvgPowerW:       sum.Fleet.AvgPowerW,
+			EnergyReduction: sum.Fleet.EnergyReduction,
+			MeanWaitSec:     sum.Fleet.MeanWaitSec,
+			LossRate:        sum.Fleet.LossRate,
+			DowntimeSec:     sum.Fleet.DowntimeSec,
+			Crashes:         sum.Fleet.Crashes,
+			Retries:         sum.Fleet.Retries,
+		})
+		note += fmt.Sprintf(" %s→%.4f", lv.Name, sum.Fleet.Availability())
 	}
 	t.Note = note
 	return t, nil

@@ -166,6 +166,58 @@ func TestFleetShardLoopAllocationFree(t *testing.T) {
 	}
 }
 
+// TestFleetFaultedShardAllocationFree extends the shard-loop gate to
+// the fault layer: with crash/retry faults enabled — and, in the
+// coupled variants, scheduled outage windows driving the shared
+// resource — a warm shard cycle still performs zero heap allocations.
+// Crashes, retries, backoff holds, and outage toggles all recycle
+// pooled kernel events and scratch state. Part of the CI
+// allocation-regression step (AllocationFree name match).
+func TestFleetFaultedShardAllocationFree(t *testing.T) {
+	for _, couple := range []CoupleMode{CoupleNone, CoupleChannel, CouplePower} {
+		name := string(couple)
+		if couple == CoupleNone {
+			name = "uncoupled"
+		}
+		t.Run(name, func(t *testing.T) {
+			spec := Spec{
+				Devices: 40, Classes: DefaultMix(), Mode: ModeCT,
+				Horizon: 64, ShardSize: 40, Seed: 3,
+				Faults: &FaultSpec{CrashMTBF: 30, RepairMean: 4, FailProb: 0.1},
+			}
+			if couple != CoupleNone {
+				spec.Couple = couple
+				spec.CoupleSize = 8
+				spec.Faults.OutagePeriod = 20
+				spec.Faults.OutageDuration = 3
+			}
+			r, err := newRunner(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := newSummary(r, 0)
+			ws := &workerScratch{}
+			ctx := context.Background()
+			cycle := func() {
+				part, err := r.runShard(ctx, 0, ws)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total.Merge(part)
+				r.putSummary(part)
+			}
+			cycle() // warm: lanes/pools/results store at high-water marks
+			allocs := testing.AllocsPerRun(16, cycle)
+			if allocs != 0 {
+				t.Fatalf("%s faulted shard loop allocates %.1f times per shard after warm-up", name, allocs)
+			}
+			if total.Crashes == 0 || total.Retries == 0 {
+				t.Fatalf("faulted alloc gate injected nothing: crashes=%d retries=%d", total.Crashes, total.Retries)
+			}
+		})
+	}
+}
+
 // BenchmarkFleetInstanceCT measures one full fleet CT instance through
 // the worker reuse path (reseed, reset, run, MetricsInto), reporting
 // ns/event. One op = one instance at a 512 s horizon.

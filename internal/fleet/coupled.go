@@ -50,9 +50,10 @@ type laneScratch struct {
 	sim     *ctsim.Sim
 	classes []classScratch
 
-	root      rng.Stream
-	polStream rng.Stream
-	simStream rng.Stream
+	root        rng.Stream
+	polStream   rng.Stream
+	simStream   rng.Stream
+	faultStream rng.Stream
 }
 
 // classState returns the lane's pooled objects for class ci, building
@@ -65,7 +66,11 @@ func (ls *laneScratch) classState(r *runner, ci int, res ctsim.Resource) (*class
 	if cs.pol != nil {
 		return cs, nil
 	}
-	if err := cs.build(r, ci, &ls.polStream, &ls.simStream, res); err != nil {
+	if err := cs.build(r, ci, &ls.polStream, &ls.simStream, &ls.faultStream, res); err != nil {
+		// Discard the half-built set (see workerScratch.classState): the
+		// memo keys on cs.pol, and a partial scratch must not be handed
+		// out as complete to the lane's next instance of this class.
+		*cs = classScratch{}
 		return nil, err
 	}
 	return cs, nil
@@ -79,6 +84,58 @@ type coupledScratch struct {
 	channel *shared.Channel
 	gateway *shared.Gateway
 	budget  *shared.PowerBudget
+	// outage drives the group resource's scheduled outage windows
+	// (Spec.Faults.OutagePeriod > 0); reused across groups.
+	outage outageDriver
+}
+
+// outageDriver schedules a shared resource's outage windows on the
+// group kernel: one chained toggle event flips the resource down at
+// each window start ([k·period, k·period + duration) for k ≥ 1, first
+// window at t=period) and up at its end. Toggles are ordinary kernel
+// events, so they interleave with the lanes' events in deterministic
+// (time, seq) order and recycle one pooled event slot — the outage
+// path allocates nothing in steady state.
+type outageDriver struct {
+	k       *eventq.Kernel
+	res     shared.Outageable
+	period  float64
+	dur     float64
+	horizon float64
+	down    bool
+	hToggle eventq.Handler // bound once; reused across groups
+}
+
+// start arms the driver for a new group run on kernel k. Call after
+// the group's lanes have scheduled their initial events (toggle seq
+// numbers follow them; interleaving stays deterministic either way).
+func (o *outageDriver) start(k *eventq.Kernel, res shared.Outageable, period, dur, horizon float64) {
+	o.k, o.res = k, res
+	o.period, o.dur, o.horizon = period, dur, horizon
+	o.down = false
+	if o.hToggle == nil {
+		o.hToggle = o.toggle
+	}
+	if period <= horizon {
+		o.k.Schedule(period, o.hToggle)
+	}
+}
+
+// toggle flips the resource state and chains the next flip.
+func (o *outageDriver) toggle(now float64) {
+	var next float64
+	if !o.down {
+		o.down = true
+		o.res.SetDown(true, now)
+		next = now + o.dur
+	} else {
+		o.down = false
+		o.res.SetDown(false, now)
+		next = now + o.period - o.dur
+	}
+	if next <= o.horizon {
+		o.k.Schedule(next, o.hToggle)
+	}
 }
 
 // resource returns the worker's shared resource, building it on first
@@ -170,6 +227,10 @@ func (r *runner) runGroupCT(ctx context.Context, lo, hi int, ws *workerScratch, 
 		capW *= r.spec.BudgetFrac
 	}
 	resource := cs.resource(r, capW)
+	outages := r.spec.Faults != nil && r.spec.Faults.OutagePeriod > 0
+	if outages && cs.budget != nil {
+		cs.budget.SetBrownoutFrac(r.spec.Faults.BrownoutFrac)
+	}
 	if len(cs.lanes) < n {
 		cs.lanes = append(cs.lanes, make([]laneScratch, n-len(cs.lanes))...)
 	}
@@ -186,6 +247,9 @@ func (r *runner) runGroupCT(ctx context.Context, lo, hi int, ws *workerScratch, 
 		ln.root.Reseed(engine.SeedFor(r.spec.Seed, uint64(i)))
 		ln.root.SplitInto(&ln.polStream)
 		ln.root.SplitInto(&ln.simStream)
+		if r.spec.Faults.crashOrRetry() {
+			ln.root.SplitInto(&ln.faultStream)
+		}
 		lcs.resetPol(&ln.polStream)
 		lcs.src.Reset()
 		if ln.sim == nil {
@@ -199,6 +263,12 @@ func (r *runner) runGroupCT(ctx context.Context, lo, hi int, ws *workerScratch, 
 		if cs.budget != nil {
 			cs.budget.Register(lcs.cfg.Device.States[lcs.cfg.InitialState].Power)
 		}
+	}
+	// Arm the outage windows after the lanes' initial events so lane
+	// seq order (the FIFO tie-break) is unchanged by enabling them.
+	if outages {
+		cs.outage.start(cs.kernel, resource.(shared.Outageable),
+			r.spec.Faults.OutagePeriod, r.spec.Faults.OutageDuration, r.spec.Horizon)
 	}
 	// Drive the shared kernel directly (the per-sim Run wrappers assume a
 	// private kernel), in the same cancellation chunks as the uncoupled
@@ -234,6 +304,12 @@ func (r *runner) runGroupCT(ctx context.Context, lo, hi int, ws *workerScratch, 
 		o.resourceWaitSec = m.ResourceWaitSec
 		o.resourceDrops = m.ResourceDrops
 		o.budgetDenied = m.BudgetDenied
+		o.downtimeSec = m.DowntimeSec
+		o.energyOutageJ = m.EnergyOutageJ
+		o.crashes = m.Crashes
+		o.retries = m.Retries
+		o.retryExhausted = m.RetryExhausted
+		o.lostToOutage = m.LostToOutage
 		o.events = 0
 		if j == 0 {
 			o.events = cs.kernel.Fired()

@@ -43,8 +43,10 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 
 	"repro/internal/ctsim"
@@ -231,6 +233,11 @@ type Spec struct {
 	BudgetFrac float64
 	// GatewayWait is the CoupleGateway wait-room bound (default 2).
 	GatewayWait int
+	// Faults enables deterministic fault injection (nil: fault-free,
+	// output byte-identical to a build without the fault layer). See
+	// FaultSpec. Requires ModeCT; outage windows additionally require a
+	// couple mode.
+	Faults *FaultSpec
 	// Seed roots the per-instance seed derivation.
 	Seed uint64
 }
@@ -341,6 +348,11 @@ func (sp *Spec) Validate() error {
 	if sp.Quantiles != QuantilesSketch && sp.Quantiles != QuantilesExact {
 		return fmt.Errorf("fleet: unknown quantile mode %q (want %q or %q)", sp.Quantiles, QuantilesSketch, QuantilesExact)
 	}
+	if sp.Faults != nil {
+		if err := sp.Faults.validate(sp.Mode, sp.Period, sp.Couple); err != nil {
+			return err
+		}
+	}
 	for i := range sp.Classes {
 		if err := sp.Classes[i].validate(i); err != nil {
 			return err
@@ -448,10 +460,13 @@ type workerScratch struct {
 
 	// Per-instance stream derivation, in place: root is reseeded from
 	// the instance seed and split into the policy and simulator streams,
-	// reproducing rng.New(seed).Split()/.Split() bit for bit.
-	root      rng.Stream
-	polStream rng.Stream
-	simStream rng.Stream
+	// reproducing rng.New(seed).Split()/.Split() bit for bit. Faulted
+	// runs split a third, fault-dedicated stream after those two, so
+	// enabling faults never perturbs the policy or arrival sequences.
+	root        rng.Stream
+	polStream   rng.Stream
+	simStream   rng.Stream
+	faultStream rng.Stream
 
 	// coupled holds the shared-kernel group state (the group kernel,
 	// one lane per group slot, and the shared resource); untouched on
@@ -466,6 +481,10 @@ type classScratch struct {
 	adapted  ctsim.Policy         // CT mode: pol behind the slot adapter
 	src      *ctsim.RenewalSource // CT mode arrival source
 	arr      *workload.Renewal    // slot mode arrival process
+	// faults is the cached per-(owner, class) ctsim fault config; cfg
+	// points at it when the spec enables crash/retry faults. Its Stream
+	// aliases the owner's fault stream, reseeded per instance.
+	faults ctsim.Faults
 	// cfg is the instance configuration for this (worker, class) pair —
 	// every field is constant across instances (the per-instance state
 	// lives in the stream, source, and policy, all reset in place) — so
@@ -474,12 +493,12 @@ type classScratch struct {
 	cfg ctsim.Config
 }
 
-// build fills one classScratch for class ci with policy and simulator
-// streams owned by the caller (a worker's scratch, or one lane of a
-// coupled group) and an optional shared resource wired into the cached
-// config. It performs the only allocations ever made per (owner,
-// class); every instance after that reuses the set via resets.
-func (cs *classScratch) build(r *runner, ci int, polStream, simStream *rng.Stream, res ctsim.Resource) error {
+// build fills one classScratch for class ci with policy, simulator,
+// and fault streams owned by the caller (a worker's scratch, or one
+// lane of a coupled group) and an optional shared resource wired into
+// the cached config. It performs the only allocations ever made per
+// (owner, class); every instance after that reuses the set via resets.
+func (cs *classScratch) build(r *runner, ci int, polStream, simStream, faultStream *rng.Stream, res ctsim.Resource) error {
 	cc := &r.classes[ci]
 	pol, err := buildSlotPolicy(cc, r.spec.QueueCap, r.spec.LatencyWeight, polStream)
 	if err != nil {
@@ -511,6 +530,17 @@ func (cs *classScratch) build(r *runner, ci int, polStream, simStream *rng.Strea
 			DecisionPeriod: r.spec.Period,
 			Resource:       res,
 		}
+		if f := r.spec.Faults; f.crashOrRetry() {
+			cs.faults = ctsim.Faults{
+				CrashMTBF:  f.CrashMTBF,
+				RepairMean: f.RepairMean,
+				FailProb:   f.FailProb,
+				RetryMax:   f.RetryMax,
+				Backoff:    f.Backoff,
+				Stream:     faultStream,
+			}
+			cs.cfg.Faults = &cs.faults
+		}
 		if err := cs.cfg.Validate(); err != nil {
 			return err
 		}
@@ -533,7 +563,12 @@ func (ws *workerScratch) classState(r *runner, ci int) (*classScratch, error) {
 	if cs.pol != nil {
 		return cs, nil
 	}
-	if err := cs.build(r, ci, &ws.polStream, &ws.simStream, nil); err != nil {
+	if err := cs.build(r, ci, &ws.polStream, &ws.simStream, &ws.faultStream, nil); err != nil {
+		// Discard the half-built set: the memo check keys on cs.pol, so a
+		// partially-filled scratch would be handed out as complete to the
+		// worker's next shard of this class and panic instead of failing
+		// with the real error.
+		*cs = classScratch{}
 		return nil, err
 	}
 	return cs, nil
@@ -615,6 +650,9 @@ func (r *runner) seedInstance(i int, ws *workerScratch) {
 	ws.root.Reseed(engine.SeedFor(r.spec.Seed, uint64(i)))
 	ws.root.SplitInto(&ws.polStream)
 	ws.root.SplitInto(&ws.simStream)
+	if r.spec.Faults.crashOrRetry() {
+		ws.root.SplitInto(&ws.faultStream)
+	}
 }
 
 // runInstanceCT executes instance i on the worker's reusable simulator
@@ -670,6 +708,12 @@ func (r *runner) instanceCT(ctx context.Context, i int, cc *compiledClass, cs *c
 	out.arrived = m.Arrived
 	out.served = m.Served
 	out.lost = m.Lost
+	out.downtimeSec = m.DowntimeSec
+	out.energyOutageJ = m.EnergyOutageJ
+	out.crashes = m.Crashes
+	out.retries = m.Retries
+	out.retryExhausted = m.RetryExhausted
+	out.lostToOutage = m.LostToOutage
 	out.events = ws.sim.FiredEvents()
 	return nil
 }
@@ -785,13 +829,23 @@ func (r *runner) runShard(ctx context.Context, shard int, ws *workerScratch) (*S
 	polled := 0
 	for ci := range r.classes {
 		cc := &r.classes[ci]
-		cs, err := ws.classState(r, ci)
-		if err != nil {
-			return nil, err
-		}
+		// Built on first need: a class with no instances in [lo, hi) is
+		// never built, so a class whose scratch cannot be constructed
+		// fails exactly the shards that contain it — not every shard the
+		// worker touches.
+		var cs *classScratch
 		for _, off := range r.classOffsets[ci] {
 			// First instance >= lo congruent to off mod L, then stride L.
 			first := lo + (off-lo%L+L)%L
+			if first >= hi {
+				continue
+			}
+			if cs == nil {
+				var err error
+				if cs, err = ws.classState(r, ci); err != nil {
+					return nil, err
+				}
+			}
 			for i := first; i < hi; i += L {
 				if polled&(pollEvery-1) == 0 {
 					if err := ctx.Err(); err != nil {
@@ -799,6 +853,7 @@ func (r *runner) runShard(ctx context.Context, shard int, ws *workerScratch) (*S
 					}
 				}
 				polled++
+				var err error
 				if r.spec.Mode == ModeCT {
 					err = r.instanceCT(ctx, i, cc, cs, ws, &res[i-lo])
 				} else {
@@ -817,6 +872,53 @@ func (r *runner) runShard(ctx context.Context, shard int, ws *workerScratch) (*S
 	return sum, nil
 }
 
+// ShardError records one failed shard of a fleet run: the shard index,
+// the instance range it owned, and the failure (an *engine.PanicError
+// if the shard's worker panicked).
+type ShardError struct {
+	Shard  int
+	Lo, Hi int // instance range [Lo, Hi) the shard owned
+	Err    error
+}
+
+// Error implements error.
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("shard %d (instances [%d,%d)): %v", e.Shard, e.Lo, e.Hi, e.Err)
+}
+
+// Unwrap exposes the shard's underlying error to errors.Is/As.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// PartialError reports a fleet run that degraded gracefully: some
+// shards failed (listed ascending by shard index), every other shard
+// finished, and Run still returned the merged summary of the
+// survivors. Callers that can use a partial fleet (reporting tools,
+// sweeps) inspect the summary; callers that cannot treat it like any
+// other error.
+type PartialError struct {
+	// Failed lists the failed shards, ascending by shard index.
+	Failed []ShardError
+	// Shards is the run's total shard count.
+	Shards int
+}
+
+// Error implements error, listing up to five failed shards.
+func (e *PartialError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d of %d shards failed:", len(e.Failed), e.Shards)
+	for i := range e.Failed {
+		if i == 5 {
+			fmt.Fprintf(&b, "; and %d more", len(e.Failed)-i)
+			break
+		}
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, " %v", &e.Failed[i])
+	}
+	return b.String()
+}
+
 // Run simulates the fleet on the pool (nil pool = GOMAXPROCS workers)
 // and returns the merged fleet summary. Output is bit-identical for
 // every pool size: shards are a pure function of the spec and their
@@ -827,15 +929,27 @@ func (r *runner) runShard(ctx context.Context, shard int, ws *workerScratch) (*S
 // million-device fleet a time budget rather than a memory budget. (The
 // exact-quantile opt-in is the one exception: it accumulates one float
 // per instance; see Spec.Quantiles.)
+//
+// Shard failures degrade gracefully: a shard that errors or panics is
+// dropped from the fold, the remaining shards still run, and Run
+// returns the survivors' merged summary alongside a *PartialError
+// naming the casualties. Context cancellation stays fatal (nil
+// summary), as do spec errors.
 func Run(ctx context.Context, spec Spec, pool *engine.Pool) (*Summary, error) {
 	r, err := newRunner(spec)
 	if err != nil {
 		return nil, err
 	}
+	return runWith(ctx, r, pool)
+}
+
+// runWith is Run's body after spec validation, split out so tests can
+// drive a deliberately poisoned runner through the degradation path.
+func runWith(ctx context.Context, r *runner, pool *engine.Pool) (*Summary, error) {
 	shards := r.spec.Shards()
 	scratch := make([]workerScratch, pool.Size(shards))
 	total := newSummary(r, 0)
-	err = engine.MapReduceWorkers(ctx, pool, shards,
+	err := engine.MapReduceWorkersKeepGoing(ctx, pool, shards,
 		func(ctx context.Context, worker, si int) (*Summary, error) {
 			return r.runShard(ctx, si, &scratch[worker])
 		},
@@ -844,9 +958,22 @@ func Run(ctx context.Context, spec Spec, pool *engine.Pool) (*Summary, error) {
 			r.putSummary(part)
 			return nil
 		})
-	if err != nil {
+	total.Shards = shards
+	if err == nil {
+		return total, nil
+	}
+	var ep *engine.PartialError
+	if !errors.As(err, &ep) {
 		return nil, err
 	}
-	total.Shards = shards
-	return total, nil
+	pe := &PartialError{Failed: make([]ShardError, len(ep.Failed)), Shards: shards}
+	for i, je := range ep.Failed {
+		lo := je.Index * r.spec.ShardSize
+		hi := lo + r.spec.ShardSize
+		if hi > r.spec.Devices {
+			hi = r.spec.Devices
+		}
+		pe.Failed[i] = ShardError{Shard: je.Index, Lo: lo, Hi: hi, Err: je.Err}
+	}
+	return total, pe
 }

@@ -32,6 +32,26 @@ type ClassStats struct {
 	ResourceWaitSec stats.Running
 	ResourceDrops   int64
 	BudgetDenied    int64
+	// Resilience aggregates, populated only by faulted runs
+	// (Spec.Faults): DowntimeSec pools each instance's crashed time;
+	// EnergyOutageJ totals energy burned while fault-stalled; the
+	// counters total crashes, retried failures, retry-budget
+	// exhaustions, and outage losses. All zero on a fault-free run.
+	DowntimeSec    stats.Running
+	EnergyOutageJ  float64
+	Crashes        int64
+	Retries        int64
+	RetryExhausted int64
+	LostToOutage   int64
+}
+
+// Availability returns the mean fraction of the horizon the group's
+// instances were up (1 on a fault-free run).
+func (c *ClassStats) Availability(horizonSec float64) float64 {
+	if horizonSec == 0 {
+		return 1
+	}
+	return 1 - c.DowntimeSec.Mean()/horizonSec
 }
 
 // merge folds another group (same identity) into c.
@@ -47,6 +67,12 @@ func (c *ClassStats) merge(o *ClassStats) {
 	c.ResourceWaitSec.Merge(&o.ResourceWaitSec)
 	c.ResourceDrops += o.ResourceDrops
 	c.BudgetDenied += o.BudgetDenied
+	c.DowntimeSec.Merge(&o.DowntimeSec)
+	c.EnergyOutageJ += o.EnergyOutageJ
+	c.Crashes += o.Crashes
+	c.Retries += o.Retries
+	c.RetryExhausted += o.RetryExhausted
+	c.LostToOutage += o.LostToOutage
 }
 
 // instanceResult is one instance's contribution to the aggregates.
@@ -57,6 +83,9 @@ type instanceResult struct {
 	// Interference fields, zero unless the run is coupled.
 	resourceWaitSec             float64
 	resourceDrops, budgetDenied int64
+	// Resilience fields, zero unless the run is faulted.
+	downtimeSec, energyOutageJ                     float64
+	crashes, retries, retryExhausted, lostToOutage int64
 }
 
 // Summary aggregates a fleet run (or a shard of one — shards stream
@@ -83,6 +112,9 @@ type Summary struct {
 	// the interference columns without re-threading the spec.
 	Couple     CoupleMode
 	CoupleSize int
+	// Faulted echoes whether the spec enabled fault injection, so
+	// report layers can gate the resilience columns.
+	Faulted bool
 	// EnergyJ is the fleet-total energy; Arrived/Served/Lost are
 	// fleet-total request counts; Events is the fleet-total kernel event
 	// count (CT mode) or slot count (slot mode).
@@ -102,6 +134,14 @@ type Summary struct {
 	ResourceWaitSec stats.Running
 	ResourceDrops   int64
 	BudgetDenied    int64
+	// Resilience aggregates, fleet-wide (see ClassStats): all zero on a
+	// fault-free run.
+	DowntimeSec    stats.Running
+	EnergyOutageJ  float64
+	Crashes        int64
+	Retries        int64
+	RetryExhausted int64
+	LostToOutage   int64
 	// Classes aggregates per class, index-aligned with Spec.Classes.
 	Classes []ClassStats
 	// WaitSketch pools every instance's mean wait (seconds) in a
@@ -127,6 +167,7 @@ func newSummary(r *runner, n int) *Summary {
 		HorizonSec: r.spec.Horizon,
 		Couple:     r.spec.Couple,
 		CoupleSize: r.spec.CoupleSize,
+		Faulted:    r.spec.Faults != nil,
 		Classes:    make([]ClassStats, len(r.classes)),
 		WaitSketch: sk,
 	}
@@ -154,6 +195,7 @@ func (s *Summary) reset(r *runner, n int) {
 	s.HorizonSec = r.spec.Horizon
 	s.Couple = r.spec.Couple
 	s.CoupleSize = r.spec.CoupleSize
+	s.Faulted = r.spec.Faults != nil
 	s.EnergyJ = 0
 	s.Arrived, s.Served, s.Lost = 0, 0, 0
 	s.Events = 0
@@ -164,6 +206,9 @@ func (s *Summary) reset(r *runner, n int) {
 	s.ResourceWaitSec = stats.Running{}
 	s.ResourceDrops = 0
 	s.BudgetDenied = 0
+	s.DowntimeSec = stats.Running{}
+	s.EnergyOutageJ = 0
+	s.Crashes, s.Retries, s.RetryExhausted, s.LostToOutage = 0, 0, 0, 0
 	for ci := range s.Classes {
 		c := &s.Classes[ci]
 		c.Instances = 0
@@ -174,6 +219,9 @@ func (s *Summary) reset(r *runner, n int) {
 		c.ResourceWaitSec = stats.Running{}
 		c.ResourceDrops = 0
 		c.BudgetDenied = 0
+		c.DowntimeSec = stats.Running{}
+		c.EnergyOutageJ = 0
+		c.Crashes, c.Retries, c.RetryExhausted, c.LostToOutage = 0, 0, 0, 0
 	}
 	s.WaitSketch.Reset()
 	if r.spec.Quantiles == QuantilesExact {
@@ -202,6 +250,12 @@ func (s *Summary) addInstance(class int, ir instanceResult) {
 	s.ResourceWaitSec.Add(ir.resourceWaitSec)
 	s.ResourceDrops += ir.resourceDrops
 	s.BudgetDenied += ir.budgetDenied
+	s.DowntimeSec.Add(ir.downtimeSec)
+	s.EnergyOutageJ += ir.energyOutageJ
+	s.Crashes += ir.crashes
+	s.Retries += ir.retries
+	s.RetryExhausted += ir.retryExhausted
+	s.LostToOutage += ir.lostToOutage
 	c := &s.Classes[class]
 	c.Instances++
 	c.AvgPowerW.Add(ir.avgPowerW)
@@ -211,6 +265,12 @@ func (s *Summary) addInstance(class int, ir instanceResult) {
 	c.ResourceWaitSec.Add(ir.resourceWaitSec)
 	c.ResourceDrops += ir.resourceDrops
 	c.BudgetDenied += ir.budgetDenied
+	c.DowntimeSec.Add(ir.downtimeSec)
+	c.EnergyOutageJ += ir.energyOutageJ
+	c.Crashes += ir.crashes
+	c.Retries += ir.retries
+	c.RetryExhausted += ir.retryExhausted
+	c.LostToOutage += ir.lostToOutage
 	s.WaitSketch.Add(ir.meanWaitSec)
 	if s.Waits != nil {
 		s.Waits = append(s.Waits, ir.meanWaitSec)
@@ -226,6 +286,7 @@ func (s *Summary) Merge(o *Summary) {
 	if s.Mode == "" {
 		s.Mode, s.HorizonSec = o.Mode, o.HorizonSec
 		s.Couple, s.CoupleSize = o.Couple, o.CoupleSize
+		s.Faulted = o.Faulted
 	}
 	s.Devices += o.Devices
 	s.Shards += o.Shards
@@ -241,6 +302,12 @@ func (s *Summary) Merge(o *Summary) {
 	s.ResourceWaitSec.Merge(&o.ResourceWaitSec)
 	s.ResourceDrops += o.ResourceDrops
 	s.BudgetDenied += o.BudgetDenied
+	s.DowntimeSec.Merge(&o.DowntimeSec)
+	s.EnergyOutageJ += o.EnergyOutageJ
+	s.Crashes += o.Crashes
+	s.Retries += o.Retries
+	s.RetryExhausted += o.RetryExhausted
+	s.LostToOutage += o.LostToOutage
 	if len(s.Classes) == 0 {
 		s.Classes = make([]ClassStats, len(o.Classes))
 	}
@@ -268,6 +335,15 @@ func (s *Summary) WaitQuantile(q float64) (float64, error) {
 		return stats.Quantile(s.Waits, q)
 	}
 	return s.WaitSketch.Quantile(q)
+}
+
+// Availability returns the mean fraction of the horizon instances were
+// up, fleet-wide (1 on a fault-free run).
+func (s *Summary) Availability() float64 {
+	if s.HorizonSec == 0 {
+		return 1
+	}
+	return 1 - s.DowntimeSec.Mean()/s.HorizonSec
 }
 
 // LossOverall returns the fleet-total loss fraction (lost/arrived over

@@ -28,6 +28,21 @@ import (
 	"repro/internal/ctsim"
 )
 
+// Outageable is the scheduled-outage half of the resource contract:
+// the coupled-fleet outage driver toggles the resource down at the
+// start of each outage window and up at its end, from events on the
+// group's shared kernel (so toggles are deterministic). What "down"
+// means is per-resource: a Channel jams (new grants park FIFO until
+// the window ends), a Gateway rejects with ctsim.DropOutage, and a
+// PowerBudget browns out (its effective cap shrinks). All three
+// resources implement it.
+type Outageable interface {
+	// SetDown enters (true) or leaves (false) an outage window at time
+	// now. Leaving may synchronously grant parked waiters, in FIFO
+	// order. Toggles must alternate; Reset clears the down state.
+	SetDown(down bool, now float64)
+}
+
 // fifo is a FIFO of waiting clients backed by a reusable slice. Pop
 // compacts lazily (head index) so steady-state operation does not
 // allocate once the backing array has grown to the high-water mark.
@@ -88,8 +103,14 @@ func (f *fifo) reset() {
 // occupies the channel). Contenders queue FIFO and are granted as the
 // holder releases; nothing is ever dropped and power commands are
 // never vetoed.
+//
+// During an outage window (SetDown — a jam interval) no new grant is
+// issued: requests park FIFO even while the medium is idle, an
+// in-flight transmission finishes but its release grants nobody, and
+// the queue drains in order when the window ends.
 type Channel struct {
 	busy    bool
+	down    bool
 	waiters fifo
 }
 
@@ -100,12 +121,14 @@ func NewChannel() *Channel { return &Channel{} }
 // keeping the wait queue's capacity for reuse.
 func (c *Channel) Reset() {
 	c.busy = false
+	c.down = false
 	c.waiters.reset()
 }
 
-// RequestService grants the channel if idle, else queues g FIFO.
+// RequestService grants the channel if idle (and not jammed), else
+// queues g FIFO.
 func (c *Channel) RequestService(now float64, g ctsim.ResourceClient) ctsim.Verdict {
-	if !c.busy {
+	if !c.busy && !c.down {
 		c.busy = true
 		return ctsim.Grant
 	}
@@ -114,13 +137,24 @@ func (c *Channel) RequestService(now float64, g ctsim.ResourceClient) ctsim.Verd
 }
 
 // ReleaseService frees the channel and synchronously grants the head
-// waiter, if any.
+// waiter, if any. During a jam the channel goes idle without granting;
+// SetDown(false) resumes the queue.
 func (c *Channel) ReleaseService(now float64, g ctsim.ResourceClient) {
-	if c.waiters.len() > 0 {
+	if c.waiters.len() > 0 && !c.down {
 		c.waiters.pop().ResourceGranted(now)
 		return
 	}
 	c.busy = false
+}
+
+// SetDown implements Outageable: a jam interval. Ending the jam grants
+// the head waiter if the medium is idle.
+func (c *Channel) SetDown(down bool, now float64) {
+	c.down = down
+	if !down && !c.busy && c.waiters.len() > 0 {
+		c.busy = true
+		c.waiters.pop().ResourceGranted(now)
+	}
 }
 
 // CancelWait withdraws a queued g.
@@ -140,10 +174,16 @@ func (c *Channel) AllowTransition(now float64, g ctsim.ResourceClient, deltaPowe
 // Servers devices serve concurrently, up to WaitCap more wait FIFO,
 // and requests beyond that are dropped (counted by the requester in
 // Metrics.ResourceDrops). Power commands are never vetoed.
+//
+// During an outage window (SetDown — the gateway is unreachable) every
+// request is rejected with ctsim.DropOutage, in-flight services finish
+// without granting waiters, and parked waiters resume in FIFO order
+// when the window ends.
 type Gateway struct {
 	servers int
 	waitCap int
 	busy    int
+	down    bool
 	waiters fifo
 }
 
@@ -164,12 +204,17 @@ func NewGateway(servers, waitCap int) *Gateway {
 // keeping the wait queue's capacity for reuse.
 func (gw *Gateway) Reset() {
 	gw.busy = 0
+	gw.down = false
 	gw.waiters.reset()
 }
 
 // RequestService grants while a server is free, queues while the wait
-// room has space, and drops otherwise.
+// room has space, and drops otherwise. During an outage window every
+// request is rejected as DropOutage.
 func (gw *Gateway) RequestService(now float64, g ctsim.ResourceClient) ctsim.Verdict {
+	if gw.down {
+		return ctsim.DropOutage
+	}
 	if gw.busy < gw.servers {
 		gw.busy++
 		return ctsim.Grant
@@ -182,13 +227,26 @@ func (gw *Gateway) RequestService(now float64, g ctsim.ResourceClient) ctsim.Ver
 }
 
 // ReleaseService frees a server and synchronously grants the head
-// waiter, if any.
+// waiter, if any. During an outage the server frees without granting;
+// SetDown(false) drains the queue.
 func (gw *Gateway) ReleaseService(now float64, g ctsim.ResourceClient) {
-	if gw.waiters.len() > 0 {
+	if gw.waiters.len() > 0 && !gw.down {
 		gw.waiters.pop().ResourceGranted(now)
 		return
 	}
 	gw.busy--
+}
+
+// SetDown implements Outageable: gateway downtime. Ending the window
+// grants parked waiters FIFO into the servers that freed during it.
+func (gw *Gateway) SetDown(down bool, now float64) {
+	gw.down = down
+	if !down {
+		for gw.busy < gw.servers && gw.waiters.len() > 0 {
+			gw.busy++
+			gw.waiters.pop().ResourceGranted(now)
+		}
+	}
 }
 
 // CancelWait withdraws a queued g.
@@ -214,22 +272,46 @@ func (gw *Gateway) AllowTransition(now float64, g ctsim.ResourceClient, deltaPow
 // The budget accounts settled-state power only: a latent transition's
 // transient draw is not charged, matching the ctsim hook, which
 // consults the budget once per command with the settled-power delta.
+//
+// During an outage window (SetDown — a brownout) the effective cap
+// shrinks to BrownoutFrac × cap: devices already drawing above the
+// browned-out cap are not evicted, but upward transitions are vetoed
+// against the reduced headroom until the window ends.
 type PowerBudget struct {
-	capW  float64
-	usedW float64
+	capW      float64
+	usedW     float64
+	brownFrac float64 // effective-cap scale while down
+	down      bool
 }
 
 // NewPowerBudget returns a budget with the given cap in watts and no
 // registered draw. Callers register each group member's initial
 // settled power via Register before the run starts.
-func NewPowerBudget(capW float64) *PowerBudget { return &PowerBudget{capW: capW} }
+func NewPowerBudget(capW float64) *PowerBudget {
+	return &PowerBudget{capW: capW, brownFrac: 1}
+}
 
-// Reset reconfigures the budget to a fresh cap with no registered
-// draw.
+// Reset reconfigures the budget to a fresh cap with no registered draw
+// and no outage in progress. The brownout fraction is configuration,
+// not run state, and survives (like the cap it scales).
 func (p *PowerBudget) Reset(capW float64) {
 	p.capW = capW
 	p.usedW = 0
+	p.down = false
 }
+
+// SetBrownoutFrac sets the cap scale applied during outage windows, in
+// (0, 1].
+func (p *PowerBudget) SetBrownoutFrac(frac float64) {
+	if !(frac > 0 && frac <= 1) {
+		panic(fmt.Sprintf("shared: brownout fraction %v outside (0, 1]", frac))
+	}
+	p.brownFrac = frac
+}
+
+// SetDown implements Outageable: a brownout window scales the
+// effective cap by the configured fraction.
+func (p *PowerBudget) SetDown(down bool, now float64) { p.down = down }
 
 // Register charges a group member's initial settled-state power before
 // the run starts. Registration order must be deterministic (the
@@ -264,7 +346,11 @@ func (p *PowerBudget) CancelWait(now float64, g ctsim.ResourceClient) {
 // within the cap, and accounts the delta when it does. Downward
 // deltas always pass.
 func (p *PowerBudget) AllowTransition(now float64, g ctsim.ResourceClient, deltaPowerW float64) bool {
-	if deltaPowerW > 0 && p.usedW+deltaPowerW > p.capW {
+	capW := p.capW
+	if p.down {
+		capW *= p.brownFrac
+	}
+	if deltaPowerW > 0 && p.usedW+deltaPowerW > capW {
 		return false
 	}
 	p.usedW += deltaPowerW
