@@ -12,6 +12,7 @@
 //	qdpm-bench -exp fleet    # Table Fleet — heterogeneous multi-device fleet
 //	qdpm-bench -exp coupled  # Table Coupled Fleet — policies under contention
 //	qdpm-bench -exp faulted  # Table Faulted Fleet — policies under fault severity
+//	qdpm-bench -exp analytic # Table A — sim vs closed-form oracles (docs/ANALYTIC.md)
 //	qdpm-bench -exp all      # everything
 //
 // -quick shrinks run lengths ~5x for a fast smoke pass. -parallel sets
@@ -43,7 +44,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1|fig2|r1|r2|r3|r4|ablate|ct|fleet|coupled|faulted|all")
+	exp := flag.String("exp", "all", "experiment: fig1|fig2|r1|r2|r3|r4|ablate|ct|fleet|coupled|faulted|analytic|all")
 	quick := flag.Bool("quick", false, "shrink run lengths ~5x")
 	parallel := flag.Int("parallel", 0, "replica worker-pool size (0 = GOMAXPROCS, 1 = serial)")
 	seed := flag.Uint64("seed", 0, "derive replica seeds from this base (0 = canonical seeds)")
@@ -283,6 +284,23 @@ func main() {
 			}
 			seeds = reseed(seeds, 10)
 			tab, err := experiment.TableFaultedFleetCtx(ctx, devices, horizon, experiment.DefaultFaultLevels(), seeds, par)
+			if err != nil {
+				return err
+			}
+			experiment.RenderTable(os.Stdout, tab.Title, tab.Headers, tab.Rows)
+			fmt.Printf("# %s\n", tab.Note)
+			return nil
+		})
+	}
+	if want("analytic") {
+		matched = true
+		run("analytic", func() error {
+			seeds := []uint64{101, 102, 103, 104, 105, 106, 107, 108}
+			if *quick {
+				seeds = seeds[:4]
+			}
+			seeds = reseed(seeds, 11)
+			tab, err := experiment.TableAnalyticCtx(ctx, seeds, par)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,420 @@
+// Package analytic is the repository's analytical twin: a ladder of
+// closed-form steady-state oracles for the regimes the simulators can be
+// pinned to. Each oracle couples a prediction (waiting time, blocking
+// probability, mean power, availability, optimal cost) with a validity
+// predicate — AppliesTo(Regime) — naming the exact arrival law, service
+// law, policy, and queue configuration under which the formula is exact.
+// The conformance harness in internal/experiment builds simulator
+// configurations matching a Regime, checks AppliesTo, and asserts that
+// simulated steady-state output falls within a confidence interval of the
+// oracle's prediction; docs/ANALYTIC.md derives every formula.
+//
+// The ladder, bottom to top:
+//
+//	MG1        — M/M/1 and M/D/1 sojourn/backlog via Pollaczek–Khinchine
+//	MM1K       — M/M/1/K blocking probability and mean system size
+//	SleepCycle — renewal-reward mean power for sleep-cycling policies
+//	             (greedy-off, timeout with threshold ≤ service time)
+//	Availability — Exp(MTBF)/Exp(repair) alternating-renewal uptime
+//	OptimalCost  — LP/MDP-optimal average cost, a bound no simulated
+//	               policy may beat (optimal.go)
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// ---------------------------------------------------------------------------
+// Regimes
+
+// Arrival, service, and policy law names a Regime is described with.
+const (
+	// ArrivalPoisson is a homogeneous Poisson process (continuous time).
+	ArrivalPoisson = "poisson"
+	// ArrivalBernoulli is one-arrival-per-slot Bernoulli (slotted time).
+	ArrivalBernoulli = "bernoulli"
+	// ServiceDeterministic is fixed-duration sequential service.
+	ServiceDeterministic = "deterministic"
+	// ServiceExponential is i.i.d. exponential sequential service.
+	ServiceExponential = "exponential"
+	// PolicyAlwaysOn never leaves the service state.
+	PolicyAlwaysOn = "always-on"
+	// PolicySleepCycle sleeps deep the moment the queue empties:
+	// greedy-off, or a continuous-time timeout whose threshold does not
+	// exceed the service time (see SleepCycle.AppliesTo).
+	PolicySleepCycle = "sleep-cycle"
+	// PolicyOptimal is the exact MDP/LP-optimal stationary policy.
+	PolicyOptimal = "optimal"
+)
+
+// Regime describes the simulated configuration an oracle is asked to
+// predict: the arrival law, the service law, the policy family, and the
+// queue bound. Oracles reject regimes outside their assumptions, so a
+// conformance check that would silently compare a formula against a
+// system it does not model fails loudly instead.
+type Regime struct {
+	// Arrivals is the arrival law (ArrivalPoisson or ArrivalBernoulli).
+	Arrivals string
+	// Service is the service law (ServiceDeterministic or
+	// ServiceExponential).
+	Service string
+	// Policy is the policy family the oracle must cover.
+	Policy string
+	// Timeout is the idle threshold in seconds for sleep-cycling timeout
+	// policies (0 = greedy-off).
+	Timeout float64
+	// SystemCap bounds the number of requests in the system, counting
+	// the one in service; 0 means unbounded.
+	SystemCap int
+	// Faults reports whether crash/repair or transient-failure injection
+	// is active.
+	Faults bool
+}
+
+// ---------------------------------------------------------------------------
+// M/G/1 — Pollaczek–Khinchine
+
+// MG1 is the M/G/1 queue: Poisson(Lambda) arrivals, i.i.d. service with
+// first two moments (MeanS, MeanS2), a single work-conserving server, and
+// an unbounded FIFO queue. The Pollaczek–Khinchine formula gives the mean
+// queueing delay exactly; everything else follows from Little's law.
+type MG1 struct {
+	// Lambda is the arrival rate in requests per second.
+	Lambda float64
+	// MeanS is E[S], the mean service time in seconds.
+	MeanS float64
+	// MeanS2 is E[S²], the second moment of the service time.
+	MeanS2 float64
+}
+
+// NewMM1 builds the exponential-service special case (E[S] = 1/mu,
+// E[S²] = 2/mu²).
+func NewMM1(lambda, mu float64) (MG1, error) {
+	q := MG1{Lambda: lambda, MeanS: 1 / mu, MeanS2: 2 / (mu * mu)}
+	if !(mu > 0) || math.IsInf(mu, 1) {
+		return MG1{}, fmt.Errorf("analytic: M/M/1 service rate %v must be positive and finite", mu)
+	}
+	if err := q.Validate(); err != nil {
+		return MG1{}, err
+	}
+	return q, nil
+}
+
+// NewMD1 builds the deterministic-service special case (E[S] = s,
+// E[S²] = s²).
+func NewMD1(lambda, s float64) (MG1, error) {
+	q := MG1{Lambda: lambda, MeanS: s, MeanS2: s * s}
+	if err := q.Validate(); err != nil {
+		return MG1{}, err
+	}
+	return q, nil
+}
+
+// Validate checks parameter sanity and stability (ρ < 1).
+func (q MG1) Validate() error {
+	if !(q.Lambda > 0) || math.IsInf(q.Lambda, 1) {
+		return fmt.Errorf("analytic: M/G/1 arrival rate %v must be positive and finite", q.Lambda)
+	}
+	if !(q.MeanS > 0) || math.IsInf(q.MeanS, 1) {
+		return fmt.Errorf("analytic: M/G/1 mean service %v must be positive and finite", q.MeanS)
+	}
+	// Jensen: E[S²] ≥ E[S]².
+	if !(q.MeanS2 >= q.MeanS*q.MeanS) || math.IsInf(q.MeanS2, 1) {
+		return fmt.Errorf("analytic: M/G/1 second moment %v below E[S]²=%v", q.MeanS2, q.MeanS*q.MeanS)
+	}
+	if rho := q.Rho(); !(rho < 1) {
+		return fmt.Errorf("analytic: M/G/1 utilization %v must be < 1", rho)
+	}
+	return nil
+}
+
+// Rho returns the utilization λ·E[S].
+func (q MG1) Rho() float64 { return q.Lambda * q.MeanS }
+
+// MeanWait returns Wq, the mean time in queue before service starts:
+// Wq = λ·E[S²] / (2(1−ρ)).
+func (q MG1) MeanWait() float64 {
+	return q.Lambda * q.MeanS2 / (2 * (1 - q.Rho()))
+}
+
+// MeanSojourn returns W = Wq + E[S], the mean arrival-to-completion time
+// — what ctsim.Metrics.MeanWaitSeconds measures.
+func (q MG1) MeanSojourn() float64 { return q.MeanWait() + q.MeanS }
+
+// MeanNumber returns L = λW, the time-average number in system (queued
+// plus in service) — what ctsim.Metrics.MeanBacklog measures.
+func (q MG1) MeanNumber() float64 { return q.Lambda * q.MeanSojourn() }
+
+// AppliesTo accepts Poisson arrivals, an unbounded queue, no faults, the
+// always-on policy (the server must never park), and the service law
+// matching the moments: deterministic requires E[S²] = E[S]²,
+// exponential requires E[S²] = 2·E[S]².
+func (q MG1) AppliesTo(r Regime) error {
+	if r.Arrivals != ArrivalPoisson {
+		return fmt.Errorf("analytic: M/G/1 needs %s arrivals, regime has %q", ArrivalPoisson, r.Arrivals)
+	}
+	if r.SystemCap != 0 {
+		return fmt.Errorf("analytic: M/G/1 needs an unbounded queue, regime caps the system at %d", r.SystemCap)
+	}
+	if r.Faults {
+		return fmt.Errorf("analytic: M/G/1 does not model faults")
+	}
+	if r.Policy != PolicyAlwaysOn {
+		return fmt.Errorf("analytic: M/G/1 needs a work-conserving %s server, regime runs %q", PolicyAlwaysOn, r.Policy)
+	}
+	m2 := q.MeanS * q.MeanS
+	switch r.Service {
+	case ServiceDeterministic:
+		if math.Abs(q.MeanS2-m2) > 1e-12*m2 {
+			return fmt.Errorf("analytic: deterministic service implies E[S²]=E[S]², oracle has %v vs %v", q.MeanS2, m2)
+		}
+	case ServiceExponential:
+		if math.Abs(q.MeanS2-2*m2) > 1e-12*m2 {
+			return fmt.Errorf("analytic: exponential service implies E[S²]=2E[S]², oracle has %v vs %v", q.MeanS2, 2*m2)
+		}
+	default:
+		return fmt.Errorf("analytic: M/G/1 oracle covers %s or %s service, regime has %q", ServiceDeterministic, ServiceExponential, r.Service)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// M/M/1/K — bounded queue
+
+// MM1K is the M/M/1/K loss system: Poisson(Lambda) arrivals,
+// exponential(Mu) service, and at most K requests in the system counting
+// the one in service; arrivals finding the system full are lost.
+type MM1K struct {
+	// Lambda is the arrival rate in requests per second.
+	Lambda float64
+	// Mu is the service rate in requests per second.
+	Mu float64
+	// K is the system capacity (queue + in service).
+	K int
+}
+
+// Validate checks parameter sanity. ρ ≥ 1 is legal — the finite system
+// is always stable.
+func (q MM1K) Validate() error {
+	if !(q.Lambda > 0) || math.IsInf(q.Lambda, 1) {
+		return fmt.Errorf("analytic: M/M/1/K arrival rate %v must be positive and finite", q.Lambda)
+	}
+	if !(q.Mu > 0) || math.IsInf(q.Mu, 1) {
+		return fmt.Errorf("analytic: M/M/1/K service rate %v must be positive and finite", q.Mu)
+	}
+	if q.K < 1 {
+		return fmt.Errorf("analytic: M/M/1/K capacity %d must be >= 1", q.K)
+	}
+	return nil
+}
+
+// prob returns the stationary probability p_n of n in system:
+// p_n = (1−ρ)ρⁿ/(1−ρ^(K+1)), degenerating to 1/(K+1) at ρ = 1.
+func (q MM1K) prob(n int) float64 {
+	rho := q.Lambda / q.Mu
+	if math.Abs(rho-1) < 1e-12 {
+		return 1 / float64(q.K+1)
+	}
+	return (1 - rho) * math.Pow(rho, float64(n)) / (1 - math.Pow(rho, float64(q.K+1)))
+}
+
+// BlockingProb returns p_K, the loss fraction by PASTA.
+func (q MM1K) BlockingProb() float64 { return q.prob(q.K) }
+
+// MeanNumber returns L = Σ n·p_n, the time-average number in system.
+func (q MM1K) MeanNumber() float64 {
+	l := 0.0
+	for n := 1; n <= q.K; n++ {
+		l += float64(n) * q.prob(n)
+	}
+	return l
+}
+
+// MeanSojourn returns the mean arrival-to-completion time of accepted
+// requests, W = L / (λ(1−p_K)) by Little's law on the admitted stream.
+func (q MM1K) MeanSojourn() float64 {
+	return q.MeanNumber() / (q.Lambda * (1 - q.BlockingProb()))
+}
+
+// AppliesTo accepts Poisson arrivals, exponential service, the always-on
+// policy, no faults, and a system capacity equal to K.
+func (q MM1K) AppliesTo(r Regime) error {
+	if r.Arrivals != ArrivalPoisson {
+		return fmt.Errorf("analytic: M/M/1/K needs %s arrivals, regime has %q", ArrivalPoisson, r.Arrivals)
+	}
+	if r.Service != ServiceExponential {
+		return fmt.Errorf("analytic: M/M/1/K needs %s service, regime has %q", ServiceExponential, r.Service)
+	}
+	if r.Policy != PolicyAlwaysOn {
+		return fmt.Errorf("analytic: M/M/1/K needs a work-conserving %s server, regime runs %q", PolicyAlwaysOn, r.Policy)
+	}
+	if r.SystemCap != q.K {
+		return fmt.Errorf("analytic: M/M/1/K oracle has capacity %d, regime caps the system at %d", q.K, r.SystemCap)
+	}
+	if r.Faults {
+		return fmt.Errorf("analytic: M/M/1/K does not model faults")
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Sleep-cycle power — renewal reward
+
+// SleepCycle predicts the long-run mean power of a sleep-cycling policy
+// on a three-role PSM under Poisson arrivals and deterministic sequential
+// service: the device serves at ActivePower, and the moment the queue
+// empties it transitions to the deep state (DownLatency seconds costing
+// DownEnergy joules), sleeps at SleepPower until the next arrival, then
+// wakes (UpLatency, UpEnergy) and serves the accumulated backlog. Both
+// ctsim greedy-off and the continuous-time timeout with threshold
+// Timeout ≤ ServiceTime behave exactly like this: at a queue-emptying
+// completion the served request arrived at least ServiceTime seconds ago,
+// so the idle clock already exceeds the threshold and the policy commands
+// deep immediately — the shallow state is never occupied in steady state.
+//
+// One regeneration cycle runs from queue-emptying completion to
+// queue-emptying completion:
+//
+//	E[sleep]  = e^(−λd)/λ                   (memoryless residual after the
+//	                                         down transition of d seconds)
+//	E[T_pre]  = d + E[sleep] + u            (down + sleep + up)
+//	E[N₀]     = λd + λu + e^(−λd)           (backlog when service resumes)
+//	E[B]      = E[N₀]·s/(1−ρ),  ρ = λs     (M/G/1 busy period per customer)
+//	E[C]      = E[T_pre] + E[B]
+//	E[energy] = DownEnergy + UpEnergy + SleepPower·E[sleep] + ActivePower·E[B]
+//	power     = E[energy]/E[C]              (renewal-reward theorem)
+type SleepCycle struct {
+	// Lambda is the Poisson arrival rate in requests per second.
+	Lambda float64
+	// ServiceTime is the deterministic service time in seconds.
+	ServiceTime float64
+	// DownLatency and DownEnergy parameterize the transition into the
+	// deep state; UpLatency and UpEnergy the transition out of it.
+	DownLatency, DownEnergy float64
+	UpLatency, UpEnergy     float64
+	// SleepPower is the deep state's power; ActivePower the service
+	// state's.
+	SleepPower, ActivePower float64
+	// Timeout is the policy's idle threshold in seconds (0 = greedy-off).
+	// Must not exceed ServiceTime for the oracle to be exact.
+	Timeout float64
+}
+
+// Validate checks parameter sanity, stability, and the threshold bound.
+func (c SleepCycle) Validate() error {
+	if !(c.Lambda > 0) || math.IsInf(c.Lambda, 1) {
+		return fmt.Errorf("analytic: sleep-cycle arrival rate %v must be positive and finite", c.Lambda)
+	}
+	if !(c.ServiceTime > 0) || math.IsInf(c.ServiceTime, 1) {
+		return fmt.Errorf("analytic: sleep-cycle service time %v must be positive and finite", c.ServiceTime)
+	}
+	if rho := c.Lambda * c.ServiceTime; !(rho < 1) {
+		return fmt.Errorf("analytic: sleep-cycle utilization %v must be < 1", rho)
+	}
+	for _, v := range []struct {
+		name string
+		x    float64
+	}{
+		{"down latency", c.DownLatency}, {"down energy", c.DownEnergy},
+		{"up latency", c.UpLatency}, {"up energy", c.UpEnergy},
+		{"sleep power", c.SleepPower}, {"active power", c.ActivePower},
+	} {
+		if v.x < 0 || math.IsNaN(v.x) || math.IsInf(v.x, 0) {
+			return fmt.Errorf("analytic: sleep-cycle %s %v must be finite and >= 0", v.name, v.x)
+		}
+	}
+	if c.Timeout < 0 || c.Timeout > c.ServiceTime {
+		return fmt.Errorf("analytic: sleep-cycle timeout %v must lie in [0, service time %v] — beyond that the idle clock can expire mid-backlog and the cycle structure breaks", c.Timeout, c.ServiceTime)
+	}
+	return nil
+}
+
+// meanSleep returns E[sleep] = e^(−λd)/λ.
+func (c SleepCycle) meanSleep() float64 {
+	return math.Exp(-c.Lambda*c.DownLatency) / c.Lambda
+}
+
+// MeanCycle returns E[C], the mean regeneration-cycle length in seconds.
+func (c SleepCycle) MeanCycle() float64 {
+	pre := c.DownLatency + c.meanSleep() + c.UpLatency
+	n0 := c.Lambda*c.DownLatency + c.Lambda*c.UpLatency + math.Exp(-c.Lambda*c.DownLatency)
+	busy := n0 * c.ServiceTime / (1 - c.Lambda*c.ServiceTime)
+	return pre + busy
+}
+
+// MeanPower returns the long-run mean power in watts.
+func (c SleepCycle) MeanPower() float64 {
+	sleep := c.meanSleep()
+	n0 := c.Lambda*c.DownLatency + c.Lambda*c.UpLatency + math.Exp(-c.Lambda*c.DownLatency)
+	busy := n0 * c.ServiceTime / (1 - c.Lambda*c.ServiceTime)
+	energy := c.DownEnergy + c.UpEnergy + c.SleepPower*sleep + c.ActivePower*busy
+	return energy / (c.DownLatency + sleep + c.UpLatency + busy)
+}
+
+// AppliesTo accepts Poisson arrivals, deterministic service, an unbounded
+// queue, no faults, and the sleep-cycle policy family with a threshold
+// matching the oracle's.
+func (c SleepCycle) AppliesTo(r Regime) error {
+	if r.Arrivals != ArrivalPoisson {
+		return fmt.Errorf("analytic: sleep-cycle needs %s arrivals, regime has %q", ArrivalPoisson, r.Arrivals)
+	}
+	if r.Service != ServiceDeterministic {
+		return fmt.Errorf("analytic: sleep-cycle needs %s service, regime has %q", ServiceDeterministic, r.Service)
+	}
+	if r.Policy != PolicySleepCycle {
+		return fmt.Errorf("analytic: sleep-cycle oracle covers the %s family, regime runs %q", PolicySleepCycle, r.Policy)
+	}
+	if r.Timeout != c.Timeout {
+		return fmt.Errorf("analytic: sleep-cycle oracle assumes threshold %v, regime uses %v", c.Timeout, r.Timeout)
+	}
+	if r.SystemCap != 0 {
+		return fmt.Errorf("analytic: sleep-cycle needs an unbounded queue, regime caps the system at %d", r.SystemCap)
+	}
+	if r.Faults {
+		return fmt.Errorf("analytic: sleep-cycle does not model faults")
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Availability — alternating renewal
+
+// Availability predicts the long-run uptime fraction of a device under
+// ctsim's crash/repair fault model: time-to-failure is Exp with mean MTBF
+// measured in operating time (the crash clock pauses while the device is
+// down), repair is Exp with mean MeanRepair in wall time. Up and down
+// periods therefore alternate independently, and the renewal-reward
+// theorem gives availability MTBF/(MTBF + MeanRepair) exactly — for any
+// up/down distributions with these means, so the formula is
+// distribution-insensitive.
+type Availability struct {
+	// MTBF is the mean operating time between failures in seconds.
+	MTBF float64
+	// MeanRepair is the mean repair duration in seconds.
+	MeanRepair float64
+}
+
+// Validate checks both means are positive and finite.
+func (a Availability) Validate() error {
+	if !(a.MTBF > 0) || math.IsInf(a.MTBF, 1) {
+		return fmt.Errorf("analytic: MTBF %v must be positive and finite", a.MTBF)
+	}
+	if !(a.MeanRepair > 0) || math.IsInf(a.MeanRepair, 1) {
+		return fmt.Errorf("analytic: mean repair %v must be positive and finite", a.MeanRepair)
+	}
+	return nil
+}
+
+// Value returns the long-run availability MTBF/(MTBF + MeanRepair).
+func (a Availability) Value() float64 { return a.MTBF / (a.MTBF + a.MeanRepair) }
+
+// AppliesTo requires fault injection to be active; the formula holds for
+// every arrival law, service law, and policy because the fault clock is
+// independent of the workload.
+func (a Availability) AppliesTo(r Regime) error {
+	if !r.Faults {
+		return fmt.Errorf("analytic: availability oracle needs fault injection active")
+	}
+	return nil
+}

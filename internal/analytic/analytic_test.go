@@ -1,0 +1,254 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func almost(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.9f, want %.9f (tol %g)", name, got, want, tol)
+	}
+}
+
+func TestMM1KnownValues(t *testing.T) {
+	// λ=0.8, μ=2: ρ=0.4, W = 1/(μ−λ) = 1/1.2.
+	q, err := NewMM1(0.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "rho", q.Rho(), 0.4, 1e-12)
+	almost(t, "W", q.MeanSojourn(), 1/1.2, 1e-12)
+	// Wq = W − 1/μ.
+	almost(t, "Wq", q.MeanWait(), 1/1.2-0.5, 1e-12)
+	// L = ρ/(1−ρ) for M/M/1.
+	almost(t, "L", q.MeanNumber(), 0.4/0.6, 1e-12)
+}
+
+func TestMD1KnownValues(t *testing.T) {
+	// λ=0.8, s=0.5: ρ=0.4, Wq = λs²/(2(1−ρ)) = 0.2/1.2.
+	q, err := NewMD1(0.8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "Wq", q.MeanWait(), 0.2/1.2, 1e-12)
+	almost(t, "W", q.MeanSojourn(), 0.2/1.2+0.5, 1e-12)
+	// At equal ρ, M/D/1 queues exactly half the M/M/1 wait.
+	mm1, err := NewMM1(0.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "Wq ratio", q.MeanWait()/mm1.MeanWait(), 0.5, 1e-12)
+}
+
+func TestMG1Validate(t *testing.T) {
+	cases := []MG1{
+		{Lambda: 0, MeanS: 0.5, MeanS2: 0.25},   // zero rate
+		{Lambda: 2.1, MeanS: 0.5, MeanS2: 0.25}, // ρ > 1
+		{Lambda: 2, MeanS: 0.5, MeanS2: 0.25},   // ρ = 1
+		{Lambda: 0.5, MeanS: 0.5, MeanS2: 0.1},  // E[S²] < E[S]²
+		{Lambda: 0.5, MeanS: -1, MeanS2: 2},     // negative service
+	}
+	for _, q := range cases {
+		if err := q.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid oracle", q)
+		}
+	}
+}
+
+func TestMG1AppliesTo(t *testing.T) {
+	md1, err := NewMD1(0.8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := Regime{Arrivals: ArrivalPoisson, Service: ServiceDeterministic, Policy: PolicyAlwaysOn}
+	if err := md1.AppliesTo(ok); err != nil {
+		t.Errorf("M/D/1 rejected its own regime: %v", err)
+	}
+	for name, r := range map[string]Regime{
+		"bernoulli arrivals": {Arrivals: ArrivalBernoulli, Service: ServiceDeterministic, Policy: PolicyAlwaysOn},
+		"wrong service law":  {Arrivals: ArrivalPoisson, Service: ServiceExponential, Policy: PolicyAlwaysOn},
+		"sleeping policy":    {Arrivals: ArrivalPoisson, Service: ServiceDeterministic, Policy: PolicySleepCycle},
+		"bounded queue":      {Arrivals: ArrivalPoisson, Service: ServiceDeterministic, Policy: PolicyAlwaysOn, SystemCap: 8},
+		"faults":             {Arrivals: ArrivalPoisson, Service: ServiceDeterministic, Policy: PolicyAlwaysOn, Faults: true},
+	} {
+		if err := md1.AppliesTo(r); err == nil {
+			t.Errorf("M/D/1 accepted regime with %s", name)
+		}
+	}
+	mm1, err := NewMM1(0.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mm1.AppliesTo(Regime{Arrivals: ArrivalPoisson, Service: ServiceExponential, Policy: PolicyAlwaysOn}); err != nil {
+		t.Errorf("M/M/1 rejected its own regime: %v", err)
+	}
+}
+
+func TestMM1KBlocking(t *testing.T) {
+	// λ=1.6, μ=2, K=8: ρ=0.8, p_K = (1−ρ)ρ^K/(1−ρ^(K+1)).
+	q := MM1K{Lambda: 1.6, Mu: 2, K: 8}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rho := 0.8
+	want := (1 - rho) * math.Pow(rho, 8) / (1 - math.Pow(rho, 9))
+	almost(t, "pK", q.BlockingProb(), want, 1e-12)
+
+	// Probabilities over 0..K must sum to 1.
+	sum := 0.0
+	for n := 0; n <= q.K; n++ {
+		sum += q.prob(n)
+	}
+	almost(t, "Σp", sum, 1, 1e-12)
+
+	// ρ = 1 degenerates to the uniform distribution: p_K = 1/(K+1).
+	crit := MM1K{Lambda: 2, Mu: 2, K: 8}
+	almost(t, "pK at rho=1", crit.BlockingProb(), 1.0/9, 1e-12)
+
+	// K=1 is the Erlang loss system M/M/1/1: p_1 = ρ/(1+ρ).
+	one := MM1K{Lambda: 1.6, Mu: 2, K: 1}
+	almost(t, "pK at K=1", one.BlockingProb(), rho/(1+rho), 1e-12)
+}
+
+func TestMM1KLimitsToMM1(t *testing.T) {
+	// As K grows with ρ < 1, blocking vanishes and L approaches ρ/(1−ρ).
+	q := MM1K{Lambda: 0.8, Mu: 2, K: 60}
+	if q.BlockingProb() > 1e-20 {
+		t.Errorf("pK = %g at K=60, want ~0", q.BlockingProb())
+	}
+	almost(t, "L limit", q.MeanNumber(), 0.4/0.6, 1e-9)
+	mm1, err := NewMM1(0.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "W limit", q.MeanSojourn(), mm1.MeanSojourn(), 1e-9)
+}
+
+// TestSleepCycleWorkedExample pins the oracle to the hand-derived value
+// for the synthetic3 device (docs/ANALYTIC.md rung 3 works the numbers).
+func TestSleepCycleWorkedExample(t *testing.T) {
+	c := synthetic3SleepCycle(0.4)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// e^{−0.2}=0.81873075…; E[sleep]=2.04682688; E[T_pre]=4.04682688;
+	// E[N₀]=1.61873075; E[B]=1.01170672; E[C]=5.05853360;
+	// E[energy]=0.3+2.5+0.20468269+2.02341344=5.02809613.
+	almost(t, "E[C]", c.MeanCycle(), 5.05853360, 1e-7)
+	almost(t, "power", c.MeanPower(), 0.99398294, 1e-7)
+}
+
+// synthetic3SleepCycle builds the oracle from the catalog synthetic3
+// parameters (active 2 W serving 0.5 s, deep 0.1 W, down 0.5 s/0.3 J,
+// up 1.5 s/2.5 J) at arrival rate lambda.
+func synthetic3SleepCycle(lambda float64) SleepCycle {
+	return SleepCycle{
+		Lambda:      lambda,
+		ServiceTime: 0.5,
+		DownLatency: 0.5, DownEnergy: 0.3,
+		UpLatency: 1.5, UpEnergy: 2.5,
+		SleepPower: 0.1, ActivePower: 2.0,
+	}
+}
+
+func TestSleepCycleLimits(t *testing.T) {
+	// With free, instant transitions the cycle is sleep (1/λ) + busy
+	// (s/(1−ρ)), i.e. the classic on-demand server: power =
+	// (P_sleep + P_active·λs/(1−λs)) / (1 + λs/(1−λs)) … computed directly.
+	c := SleepCycle{
+		Lambda: 0.4, ServiceTime: 0.5,
+		SleepPower: 0.1, ActivePower: 2.0,
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sleep := 1 / 0.4
+	busy := 0.5 / (1 - 0.2)
+	want := (0.1*sleep + 2.0*busy) / (sleep + busy)
+	almost(t, "free-transition power", c.MeanPower(), want, 1e-12)
+
+	// Timeout above the service time must be rejected.
+	bad := synthetic3SleepCycle(0.4)
+	bad.Timeout = 0.6
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted timeout > service time")
+	}
+	// ρ ≥ 1 must be rejected.
+	sat := synthetic3SleepCycle(2.5)
+	if err := sat.Validate(); err == nil {
+		t.Error("Validate accepted an unstable sleep cycle")
+	}
+}
+
+func TestSleepCycleAppliesTo(t *testing.T) {
+	c := synthetic3SleepCycle(0.4)
+	ok := Regime{Arrivals: ArrivalPoisson, Service: ServiceDeterministic, Policy: PolicySleepCycle}
+	if err := c.AppliesTo(ok); err != nil {
+		t.Errorf("sleep cycle rejected its own regime: %v", err)
+	}
+	withTimeout := c
+	withTimeout.Timeout = 0.4
+	okT := ok
+	okT.Timeout = 0.4
+	if err := withTimeout.AppliesTo(okT); err != nil {
+		t.Errorf("sleep cycle rejected matching timeout regime: %v", err)
+	}
+	if err := withTimeout.AppliesTo(ok); err == nil {
+		t.Error("sleep cycle accepted a regime with a different threshold")
+	}
+	alwaysOn := ok
+	alwaysOn.Policy = PolicyAlwaysOn
+	if err := c.AppliesTo(alwaysOn); err == nil {
+		t.Error("sleep cycle accepted the always-on policy")
+	}
+}
+
+func TestAvailability(t *testing.T) {
+	a := Availability{MTBF: 100, MeanRepair: 10}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	almost(t, "A", a.Value(), 10.0/11, 1e-12)
+	if err := a.AppliesTo(Regime{Faults: true}); err != nil {
+		t.Errorf("availability rejected a faulted regime: %v", err)
+	}
+	if err := a.AppliesTo(Regime{}); err == nil {
+		t.Error("availability accepted a fault-free regime")
+	}
+	if err := (Availability{MTBF: 0, MeanRepair: 1}).Validate(); err == nil {
+		t.Error("Validate accepted zero MTBF")
+	}
+}
+
+func TestSolveOptimalCostCrossCheck(t *testing.T) {
+	dev, err := device.Synthetic3().Slot(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := SolveOptimalCost(dev, 0.3, 8, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(o.Gain-o.LPGain) > CrossTol {
+		t.Errorf("RVI gain %v vs LP gain %v beyond CrossTol", o.Gain, o.LPGain)
+	}
+	// The optimal gain can never exceed the always-on cost (always-on is
+	// one feasible stationary policy): energy 2·0.5 = 1 J/slot plus a
+	// nonnegative backlog term.
+	if o.Gain <= 0 || o.Gain > 1+0.3*8 {
+		t.Errorf("optimal gain %v outside plausible range", o.Gain)
+	}
+	ok := Regime{Arrivals: ArrivalBernoulli, Service: ServiceDeterministic, Policy: PolicyOptimal, SystemCap: 8}
+	if err := o.AppliesTo(ok); err != nil {
+		t.Errorf("optimal bound rejected its own regime: %v", err)
+	}
+	bad := ok
+	bad.SystemCap = 4
+	if err := o.AppliesTo(bad); err == nil {
+		t.Error("optimal bound accepted a mismatched queue capacity")
+	}
+}

@@ -1,0 +1,99 @@
+// The top rung of the ladder: the exact optimal long-run average cost of
+// the slotted power-managed system, computed two independent ways and
+// cross-checked. It is not a closed form — it is the solution of the
+// average-cost MDP — but it plays the same role as one: a bound no
+// simulated policy may beat, and a target the simulated optimal policy
+// must hit.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/mdp"
+	"repro/internal/stochpm"
+)
+
+// OptimalCost is the optimal long-run average cost per slot of a slotted
+// DPM instance, with the solver cross-check diagnostics.
+type OptimalCost struct {
+	// Gain is the optimal average cost per slot (energy + weighted
+	// backlog), from relative value iteration.
+	Gain float64
+	// LPGain is the same quantity from the occupancy-measure LP; the two
+	// agree within CrossTol by construction.
+	LPGain float64
+	// Regime is the slotted configuration the bound covers.
+	Regime Regime
+}
+
+// CrossTol is the maximum RVI-vs-LP disagreement SolveOptimalCost
+// tolerates: both solve the same finite problem, so anything larger
+// signals a solver bug, not statistical noise.
+const CrossTol = 1e-6
+
+// SolveOptimalCost computes the optimal average cost of the slotted
+// system (Bernoulli(arrivalP) arrivals, queue capacity queueCap counting
+// the request in service, scalarization weight latencyWeight) by relative
+// value iteration, cross-checks it against the independent
+// occupancy-measure LP from internal/stochpm, and returns both. Because
+// the MDP is generated from the same device description and slot
+// semantics as internal/slotsim, the bound is exact for the simulator,
+// not an approximation:
+//
+//	every stationary policy's simulated AvgCost ≥ Gain  (up to CI noise)
+//	the policy.NewOptimal policy's simulated AvgCost  = Gain (within CI)
+func SolveOptimalCost(dev *device.Slotted, arrivalP float64, queueCap int, latencyWeight float64) (*OptimalCost, error) {
+	d, err := mdp.BuildDPM(mdp.DPMConfig{
+		Device:        dev,
+		ArrivalP:      arrivalP,
+		QueueCap:      queueCap,
+		LatencyWeight: latencyWeight,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.AverageCostRVI(1e-9, 500000)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := stochpm.SolveLP(d, nil)
+	if err != nil {
+		return nil, fmt.Errorf("analytic: LP cross-check failed: %w", err)
+	}
+	if diff := math.Abs(res.Gain - sol.Gain); diff > CrossTol {
+		return nil, fmt.Errorf("analytic: RVI gain %v and LP gain %v disagree by %v (> %v)", res.Gain, sol.Gain, diff, CrossTol)
+	}
+	return &OptimalCost{
+		Gain:   res.Gain,
+		LPGain: sol.Gain,
+		Regime: Regime{
+			Arrivals:  ArrivalBernoulli,
+			Service:   ServiceDeterministic,
+			Policy:    PolicyOptimal,
+			SystemCap: queueCap,
+		},
+	}, nil
+}
+
+// AppliesTo accepts the exact slotted regime the MDP models: Bernoulli
+// arrivals, deterministic slot service, the matching queue bound, and no
+// faults. The Gain is a valid lower bound for ANY stationary policy in
+// that regime; Regime.Policy == PolicyOptimal additionally promises the
+// bound is attained.
+func (o *OptimalCost) AppliesTo(r Regime) error {
+	if r.Arrivals != ArrivalBernoulli {
+		return fmt.Errorf("analytic: optimal-cost bound needs %s arrivals, regime has %q", ArrivalBernoulli, r.Arrivals)
+	}
+	if r.Service != ServiceDeterministic {
+		return fmt.Errorf("analytic: optimal-cost bound needs %s slot service, regime has %q", ServiceDeterministic, r.Service)
+	}
+	if r.SystemCap != o.Regime.SystemCap {
+		return fmt.Errorf("analytic: optimal-cost bound solved at capacity %d, regime caps the system at %d", o.Regime.SystemCap, r.SystemCap)
+	}
+	if r.Faults {
+		return fmt.Errorf("analytic: optimal-cost bound does not model faults")
+	}
+	return nil
+}

@@ -40,6 +40,7 @@ import (
 	"math"
 
 	"repro/internal/device"
+	"repro/internal/dist"
 	"repro/internal/eventq"
 	"repro/internal/rng"
 )
@@ -81,6 +82,19 @@ type Config struct {
 	// seconds (default Device.ServiceTime). Ignored in slot-compatible
 	// mode.
 	ServiceTime float64
+	// ServiceDist, when non-nil, draws each sequential service duration
+	// i.i.d. from this law instead of the fixed ServiceTime (which then
+	// only seeds defaults). Requires sequential service and a dedicated
+	// ServiceStream. nil keeps deterministic service and makes no
+	// service-stream draws — bit-identical to a build without this
+	// field. The analytic conformance harness uses an exponential law
+	// here to pin ctsim against M/M/1 and M/M/1/K closed forms.
+	ServiceDist dist.Continuous
+	// ServiceStream supplies ServiceDist's randomness. Required when
+	// ServiceDist is non-nil; kept separate from Stream so arrival and
+	// service draws stay independent streams under the determinism
+	// contract.
+	ServiceStream *rng.Stream
 	// Resource, when non-nil, arbitrates shared capacity with the other
 	// instances scheduling against the same kernel (see NewShared):
 	// service starts go through Resource.RequestService and commanded
@@ -147,6 +161,14 @@ func (c *Config) validate() error {
 	}
 	if c.SlotCompatible && c.BatchServe < 1 {
 		return fmt.Errorf("ctsim: decision period %v shorter than service time %v", c.DecisionPeriod, c.ServiceTime)
+	}
+	if c.ServiceDist != nil {
+		if c.SlotCompatible {
+			return fmt.Errorf("ctsim: a service distribution requires sequential service (slot-compatible batching has no per-request durations)")
+		}
+		if c.ServiceStream == nil {
+			return fmt.Errorf("ctsim: a service distribution needs a dedicated service stream")
+		}
 	}
 	return c.validateFaults()
 }
@@ -823,7 +845,16 @@ func (s *Sim) maybeStartService(now float64) {
 		s.resHeld = true
 	}
 	s.serving = true
-	s.serveEv, _ = s.k.After(s.cfg.ServiceTime, s.hServeDone)
+	s.serveEv, _ = s.k.After(s.serviceDraw(), s.hServeDone)
+}
+
+// serviceDraw returns the next sequential service duration: the fixed
+// ServiceTime, or one ServiceDist variate when a law is configured.
+func (s *Sim) serviceDraw() float64 {
+	if s.cfg.ServiceDist == nil {
+		return s.cfg.ServiceTime
+	}
+	return s.cfg.ServiceDist.Sample(s.cfg.ServiceStream)
 }
 
 // ResourceGranted implements ResourceClient: a deferred service grant
@@ -836,7 +867,7 @@ func (s *Sim) ResourceGranted(now float64) {
 	s.metrics.ResourceWaitSec += now - s.resReqAt
 	s.resHeld = true
 	s.serving = true
-	s.serveEv, _ = s.k.After(s.cfg.ServiceTime, s.hServeDone)
+	s.serveEv, _ = s.k.After(s.serviceDraw(), s.hServeDone)
 }
 
 func (s *Sim) onServeDone(now float64) {

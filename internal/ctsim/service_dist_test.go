@@ -1,0 +1,144 @@
+package ctsim_test
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/ctsim"
+	"repro/internal/device"
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// constDist is a degenerate service law returning a fixed duration; it
+// lets the tests pin that the ServiceDist hook sits exactly on the fixed
+// ServiceTime path.
+type constDist struct{ v float64 }
+
+func (c constDist) Sample(*rng.Stream) float64 { return c.v }
+func (c constDist) Mean() float64              { return c.v }
+func (c constDist) String() string             { return fmt.Sprintf("Const(%g)", c.v) }
+
+func TestServiceDistValidation(t *testing.T) {
+	psm := device.Synthetic3()
+	pol, err := ctsim.NewAlwaysOn(psm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ctsim.Config{
+		Device: psm, Policy: pol,
+		Source: expSource(t, 0.4), Stream: rng.New(1),
+		ServiceDist: constDist{v: 0.5},
+	}
+	if _, err := ctsim.New(base); err == nil {
+		t.Error("New accepted a service distribution without a service stream")
+	}
+	slotted := base
+	slotted.ServiceStream = rng.New(2)
+	slotted.DecisionPeriod = 0.5
+	slotted.SlotCompatible = true
+	if _, err := ctsim.New(slotted); err == nil {
+		t.Error("New accepted a service distribution with slot-compatible batching")
+	}
+	ok := base
+	ok.ServiceStream = rng.New(2)
+	if _, err := ctsim.New(ok); err != nil {
+		t.Errorf("New rejected a valid service-distribution config: %v", err)
+	}
+}
+
+// A degenerate service law at the fixed ServiceTime must reproduce the
+// deterministic-service run metric for metric: the hook replaces the same
+// durations at the same two service-start sites and draws from a stream
+// the rest of the simulation never touches.
+func TestConstServiceDistMatchesFixedServiceTime(t *testing.T) {
+	psm := device.Synthetic3()
+	run := func(withDist bool) ctsim.Metrics {
+		pol, err := ctsim.NewTimeout(psm, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := ctsim.Config{
+			Device: psm, Policy: pol,
+			Source: expSource(t, 0.4), Stream: rng.New(7),
+		}
+		if withDist {
+			cfg.ServiceDist = constDist{v: psm.ServiceTime}
+			cfg.ServiceStream = rng.New(99)
+		}
+		sim, err := ctsim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(2000); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Metrics()
+	}
+	fixed, drawn := run(false), run(true)
+	// StateTime is a slice; compare it element-wise and the rest by value.
+	if len(fixed.StateTime) != len(drawn.StateTime) {
+		t.Fatalf("StateTime lengths differ: %d vs %d", len(fixed.StateTime), len(drawn.StateTime))
+	}
+	for i := range fixed.StateTime {
+		if fixed.StateTime[i] != drawn.StateTime[i] {
+			t.Errorf("StateTime[%d]: %v vs %v", i, fixed.StateTime[i], drawn.StateTime[i])
+		}
+	}
+	fixed.StateTime, drawn.StateTime = nil, nil
+	if !reflect.DeepEqual(fixed, drawn) {
+		t.Errorf("metrics diverge:\nfixed: %+v\ndrawn: %+v", fixed, drawn)
+	}
+}
+
+// Exponential service under always-on turns ctsim into an M/M/1 queue;
+// a moderate-horizon run must land near the textbook sojourn 1/(μ−λ).
+// The tight-CI assertion lives in the experiment conformance harness —
+// this is the package-local smoke that the law is actually applied.
+func TestExponentialServiceApproachesMM1(t *testing.T) {
+	psm := device.Synthetic3()
+	pol, err := ctsim.NewAlwaysOn(psm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := 2.0
+	lambda := 0.8
+	sd, err := dist.NewExponential(mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := ctsim.New(ctsim.Config{
+		Device: psm, Policy: pol,
+		Source: expSource(t, lambda), Stream: rng.New(11),
+		ServiceDist: sd, ServiceStream: rng.New(12),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(50000); err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Metrics()
+	want := 1 / (mu - lambda) // W = 0.8333…
+	if got := m.MeanWaitSeconds(); math.Abs(got-want) > 0.08*want {
+		t.Errorf("M/M/1 sojourn %v, want %v ± 8%%", got, want)
+	}
+	// Deterministic service at the same mean must wait strictly less
+	// (P-K: the M/D/1 queueing term is half the M/M/1 one).
+	det, err := ctsim.New(ctsim.Config{
+		Device: psm, Policy: pol,
+		Source: expSource(t, lambda), Stream: rng.New(11),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Run(50000); err != nil {
+		t.Fatal(err)
+	}
+	dm := det.Metrics()
+	if dw := dm.MeanWaitSeconds(); dw >= m.MeanWaitSeconds() {
+		t.Errorf("M/D/1 sojourn %v not below M/M/1 sojourn %v", dw, m.MeanWaitSeconds())
+	}
+}

@@ -33,6 +33,26 @@
 // stale Ref — to an event that already fired or was canceled, even if the
 // slot has been reused — is detected and ignored rather than corrupting an
 // unrelated event.
+//
+// # Ordering contract
+//
+// Events fire in strictly nondecreasing (time, seq) order, where seq is
+// a per-kernel schedule-order counter: of two events scheduled for the
+// same instant, the one scheduled first fires first, regardless of heap
+// or calendar internals. Every simulator above this package (ctsim, the
+// fleet's shared-clock coupled groups, the shared-resource arbiters)
+// leans on that FIFO tie-break for its bit-identical determinism
+// contract, and both backings (New and NewCalendar) honor it
+// identically (TestKernelPropertyAllKernels pins the equivalence).
+//
+// # Reuse contract
+//
+// Kernel.Reset restores a freshly constructed kernel — clock at 0, no
+// queued events, counters cleared — while keeping the arena and heap
+// capacity, and behavior after Reset is bit-identical to a new
+// kernel's. Together with the free-list event recycling this keeps a
+// worker that cycles one kernel through many replicas entirely off the
+// allocator (TestResetMatchesFreshKernel, TestFreeListReuse).
 package eventq
 
 import (

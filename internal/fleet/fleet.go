@@ -39,6 +39,23 @@
 //     (engine.MapReduceWorkers) and wait percentiles default to a
 //     mergeable log-binned sketch (Spec.Quantiles), so fleet memory is
 //     O(workers + classes), independent of the device count.
+//
+// Coupling. By default instances are independent — each advances on its
+// own event kernel. Spec.Couple switches a shard into coupled groups:
+// CoupleSize consecutive instances advance on ONE shared kernel
+// (eventq's (time, seq) FIFO ordering arbitrates their interleaving
+// deterministically) and contend for one internal/shared resource — a
+// single-occupancy channel, a bounded gateway queue, or a group power
+// budget. Groups never straddle shards, so coupling changes the
+// simulated physics without touching the sharding, merge, or
+// bit-identical -parallel contracts (DESIGN.md §8).
+//
+// Faults. Spec.Faults threads ctsim's deterministic fault layer —
+// Exp(MTBF) crash/repair cycles, transient service failures with
+// retry/backoff, and scheduled resource outages on coupled runs —
+// through every instance, drawing all fault randomness from a third
+// per-instance stream lane so a fault-free spec's output stays
+// byte-identical to the pre-fault layer (DESIGN.md §9).
 package fleet
 
 import (

@@ -76,6 +76,27 @@ func TestInfeasibleViaBuilder(t *testing.T) {
 	}
 }
 
+// TestInfeasibleOccupancyShape pins ErrInfeasible for the exact problem
+// shape stochpm.SolveLP builds — a probability-mass equality row over
+// occupancy variables plus a LE side constraint — when the side bound
+// contradicts the mass: Σx = 1 but Σx ≤ 0.5. The analytic bound pipeline
+// depends on this surfacing as ErrInfeasible (wrapped, matchable with
+// errors.Is) rather than as a numeric failure or a bogus solution.
+func TestInfeasibleOccupancyShape(t *testing.T) {
+	b, err := NewBuilder(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetObjective([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	b.Add([]float64{1, 1, 1}, EQ, 1)   // occupancy mass
+	b.Add([]float64{1, 1, 1}, LE, 0.5) // unattainable side bound
+	if _, err := b.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
 func TestUnboundedDetected(t *testing.T) {
 	// min -x s.t. x - y = 0: x can grow without bound.
 	_, err := Solve(Problem{

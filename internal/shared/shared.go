@@ -12,8 +12,11 @@
 // event loop, wait queues grant in strict FIFO request order, and no
 // resource reads a clock or RNG of its own — a coupled group's outcome
 // is a pure function of its spec, preserving the repository-wide
-// bit-identical -parallel contract. None of the types is safe for
-// concurrent use, matching the kernel they guard.
+// bit-identical -parallel contract. The request order itself is pinned
+// by the kernel's (time, seq) FIFO tie-break (see internal/eventq), so
+// "first to ask" is well defined even when several devices act at the
+// same instant. None of the types is safe for concurrent use, matching
+// the kernel they guard.
 //
 // Reuse: all three types are resettable in place — Reset reproduces
 // the freshly constructed state bit-for-bit while keeping queue
