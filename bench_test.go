@@ -11,6 +11,7 @@ package repro_test
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"testing"
 
@@ -455,6 +456,52 @@ func BenchmarkFleetCoupled10kCT(b *testing.B) {
 		Couple:     fleet.CoupleChannel,
 		CoupleSize: 8,
 	})
+}
+
+// BenchmarkFleetCoupled1MCT: the flat-scaling contract extended to
+// coupling — one million devices in groups of 8 on shared kernels, at
+// the same short horizon as BenchmarkFleet1MCT. The BENCH ratio gate
+// holds its ns/event within 1.20× of BenchmarkFleetCoupled10kCT: a
+// coupled group's cost must be a pure function of the group, not of
+// how many groups the fleet has.
+func BenchmarkFleetCoupled1MCT(b *testing.B) {
+	benchFleetSpec(b, fleet.Spec{
+		Devices:    1_000_000,
+		Classes:    fleet.DefaultMix(),
+		Mode:       fleet.ModeCT,
+		Horizon:    4,
+		Seed:       11,
+		Couple:     fleet.CoupleChannel,
+		CoupleSize: 8,
+	})
+}
+
+// BenchmarkFleetCoupledKernelSweep is the measurement behind the
+// KernelAuto decision table (fleet.kernelFor; DESIGN.md §7): the
+// coupled fleet at every group size K on both kernel backings. It is
+// not gated in BENCH_pr10.json — rerun it when the kernel or the
+// coupled hot path changes materially:
+//
+//	go test -bench BenchmarkFleetCoupledKernelSweep -benchtime 5x .
+func BenchmarkFleetCoupledKernelSweep(b *testing.B) {
+	for _, k := range []fleet.KernelKind{fleet.KernelHeap, fleet.KernelCalendar} {
+		for _, cs := range []int{8, 32, 64, 128, 256, 512} {
+			spec := fleet.Spec{
+				Devices:    4096,
+				Classes:    fleet.DefaultMix(),
+				Mode:       fleet.ModeCT,
+				Horizon:    64,
+				Seed:       11,
+				Couple:     fleet.CoupleChannel,
+				CoupleSize: cs,
+				ShardSize:  512,
+				Kernel:     k,
+			}
+			b.Run(fmt.Sprintf("kernel=%s/K=%d", k, cs), func(b *testing.B) {
+				benchFleetSpec(b, spec)
+			})
+		}
+	}
 }
 
 // BenchmarkFleetFaulted10kCT: the acceptance-scale fleet under fault

@@ -345,3 +345,117 @@ func TestUpdateRewritesBaseline(t *testing.T) {
 		t.Fatalf("bootstrapped baseline incomplete: %s", raw)
 	}
 }
+
+// Three runs of the same two benchmarks (`go test -count 3` output),
+// with a different run hitting the noise floor for each key: the
+// coupled benchmark is fastest in run 2, the uncoupled one in run 1.
+const multiRunBench = `pkg: repro
+BenchmarkFleetCoupled10kCT 	       2	 500000000 ns/op	     130.0 ns/event	     1480 allocs/op
+BenchmarkFleet10kCT 	       3	 300000000 ns/op	      90.0 ns/event	      614 allocs/op
+pkg: repro
+BenchmarkFleetCoupled10kCT 	       2	 460000000 ns/op	     122.0 ns/event	     1478 allocs/op
+BenchmarkFleet10kCT 	       3	 340000000 ns/op	      95.0 ns/event	      614 allocs/op
+pkg: repro
+BenchmarkFleetCoupled10kCT 	       2	 480000000 ns/op	     126.0 ns/event	     1479 allocs/op
+BenchmarkFleet10kCT 	       3	 310000000 ns/op	      84.0 ns/event	      614 allocs/op
+`
+
+// TestBestOfReduce: each benchmark collapses to the whole row of its
+// own fastest run (so correlated custom metrics stay consistent),
+// first-appearance order is preserved, and more occurrences than the
+// declared run count is an error.
+func TestBestOfReduce(t *testing.T) {
+	res, err := parseBench(strings.NewReader(multiRunBench), "repro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("parsed %d results, want 6", len(res))
+	}
+	best, err := bestOfReduce(res, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(best) != 2 {
+		t.Fatalf("reduced to %d results, want 2: %+v", len(best), best)
+	}
+	coupled, fleet := best[0], best[1]
+	if coupled.Key != "BenchmarkFleetCoupled10kCT" || fleet.Key != "BenchmarkFleet10kCT" {
+		t.Fatalf("first-appearance order not preserved: %+v", best)
+	}
+	// Run 2's whole row wins for coupled: min ns/op brings along its own
+	// ns/event and allocs, not element-wise minima across runs.
+	if coupled.NsPerOp != 460000000 || coupled.Extra["ns_per_event"] != 122.0 || coupled.AllocsPerOp != 1478 {
+		t.Fatalf("coupled best row wrong: %+v", coupled)
+	}
+	// Run 1 wins for uncoupled — selection is per benchmark, not per run.
+	if fleet.NsPerOp != 300000000 || fleet.Extra["ns_per_event"] != 90.0 {
+		t.Fatalf("uncoupled best row wrong: %+v", fleet)
+	}
+	// Declared 2 runs but 3 occurrences present: the flag and the input
+	// disagree, which is an authoring mistake rather than noise.
+	if _, err := bestOfReduce(res, 2); err == nil {
+		t.Fatal("3 occurrences accepted under -best-of 2")
+	}
+	// n=1 is the identity (the no-flag path).
+	same, err := bestOfReduce(res, 1)
+	if err != nil || len(same) != 6 {
+		t.Fatalf("best-of 1 altered the results: %v, %d rows", err, len(same))
+	}
+}
+
+// TestBestOfGateAndUpdate: with -best-of the gate and the recorder both
+// see the per-benchmark minima — a baseline pinned at the noise floor
+// passes only when the slow runs are folded away, and -update records
+// the floor, not the last run.
+func TestBestOfGateAndUpdate(t *testing.T) {
+	base := writeBaseline(t, `{"benchmarks": {
+		"BenchmarkFleetCoupled10kCT": {"ns_per_op": 460000000, "allocs_per_op": 1478},
+		"BenchmarkFleet10kCT": {"ns_per_op": 300000000, "allocs_per_op": 614}},
+		"ratio_gates": [{"metric": "ns_per_event",
+			"num": "BenchmarkFleetCoupled10kCT", "den": "BenchmarkFleet10kCT",
+			"max": 1.40}]}`)
+
+	// Without folding, the slow runs (500M vs 460M baseline ≈ +8.7%)
+	// pass the default 25% tolerance but fail a 5% one.
+	var out bytes.Buffer
+	if err := run(strings.NewReader(multiRunBench), &out, []string{"-baseline", base, "-ns-tol", "0.05"}); err == nil {
+		t.Fatalf("slow unfolded runs passed a 5%% gate:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run(strings.NewReader(multiRunBench), &out, []string{"-baseline", base, "-ns-tol", "0.05", "-best-of", "3"}); err != nil {
+		t.Fatalf("best-of minima failed their own baseline: %v\n%s", err, out.String())
+	}
+	// The ratio gate sees the folded rows too: 122/90 ≈ 1.356 ≤ 1.40,
+	// while the per-run worst case (130/84 ≈ 1.548) would fail.
+	if !strings.Contains(out.String(), "ok   ratio ns_per_event(BenchmarkFleetCoupled10kCT)") {
+		t.Fatalf("ratio gate not evaluated on folded rows:\n%s", out.String())
+	}
+
+	// -best-of composes with -update: the recorded figures are the minima.
+	fresh := filepath.Join(t.TempDir(), "BENCH_bestof.json")
+	out.Reset()
+	if err := run(strings.NewReader(multiRunBench), &out, []string{"-baseline", fresh, "-update", "-best-of", "3"}); err != nil {
+		t.Fatalf("best-of update failed: %v", err)
+	}
+	raw, err := os.ReadFile(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		B map[string]map[string]any `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("recorded baseline unparseable: %v\n%s", err, raw)
+	}
+	if got.B["BenchmarkFleetCoupled10kCT"]["ns_per_event"] != 122.0 ||
+		got.B["BenchmarkFleet10kCT"]["ns_per_event"] != 90.0 {
+		t.Fatalf("minima not recorded: %s", raw)
+	}
+
+	// A run count below 1 is rejected.
+	out.Reset()
+	if err := run(strings.NewReader(multiRunBench), &out, []string{"-baseline", base, "-best-of", "0"}); err == nil {
+		t.Fatal("-best-of 0 accepted")
+	}
+}

@@ -378,6 +378,19 @@ type Sim struct {
 	resHeld    bool    // holding a grant (serving through the resource)
 	resReqAt   float64 // time the outstanding request was queued
 
+	// Devirtualized resource hooks: method values cached off
+	// cfg.Resource, rebound only when the Resource identity changes
+	// (apply), so the warm Reset cycle of a pooled coupled lane — same
+	// resource every replica — never rebinds and stays allocation-free.
+	// A cached method value costs one closure load per call instead of
+	// an itab lookup plus method-table load on every service event; nil
+	// resRequest doubles as the "no resource" fast-path check.
+	resBound   Resource
+	resRequest func(now float64, g ResourceClient) Verdict
+	resRelease func(now float64, g ResourceClient)
+	resCancel  func(now float64, g ResourceClient)
+	resAllow   func(now float64, g ResourceClient, deltaPowerW float64) bool
+
 	// Fault injection (cfg.Faults != nil).
 	faulted   bool       // crashed, awaiting repair
 	retryHold bool       // head request backing off after a failure
@@ -487,6 +500,20 @@ func (s *Sim) init(cfg Config) error {
 // schedules the initial events.
 func (s *Sim) apply(cfg Config) error {
 	s.cfg = cfg
+	if cfg.Resource != s.resBound {
+		s.resBound = cfg.Resource
+		if cfg.Resource != nil {
+			s.resRequest = cfg.Resource.RequestService
+			s.resRelease = cfg.Resource.ReleaseService
+			s.resCancel = cfg.Resource.CancelWait
+			s.resAllow = cfg.Resource.AllowTransition
+		} else {
+			s.resRequest = nil
+			s.resRelease = nil
+			s.resCancel = nil
+			s.resAllow = nil
+		}
+	}
 	if !s.kernelShared {
 		s.k.Reset()
 	}
@@ -813,8 +840,8 @@ func (s *Sim) maybeStartService(now float64) {
 	if !s.cfg.Device.States[s.phase].CanService {
 		return
 	}
-	if r := s.cfg.Resource; r != nil {
-		switch r.RequestService(now, s) {
+	if s.resRequest != nil {
+		switch s.resRequest(now, s) {
 		case Wait:
 			s.resWaiting = true
 			s.resReqAt = now
@@ -879,7 +906,7 @@ func (s *Sim) onServeDone(now float64) {
 		// re-request below queues FIFO behind it — deterministic,
 		// starvation-free ordering.
 		s.resHeld = false
-		s.cfg.Resource.ReleaseService(now, s)
+		s.resRelease(now, s)
 	}
 	// Transient failure coin flip: the attempt consumed its service time
 	// (and resource occupancy) either way.
@@ -906,7 +933,7 @@ func (s *Sim) onServeDone(now float64) {
 func (s *Sim) abortService() {
 	if s.resWaiting {
 		now := s.k.Now()
-		s.cfg.Resource.CancelWait(now, s)
+		s.resCancel(now, s)
 		s.metrics.ResourceWaitSec += now - s.resReqAt
 		s.resWaiting = false
 	}
@@ -918,7 +945,7 @@ func (s *Sim) abortService() {
 	s.serveEv = eventq.Ref{}
 	if s.resHeld {
 		s.resHeld = false
-		s.cfg.Resource.ReleaseService(s.k.Now(), s)
+		s.resRelease(s.k.Now(), s)
 	}
 }
 
@@ -1065,8 +1092,8 @@ func (s *Sim) decide(now float64, obs Observation) {
 	dev := s.cfg.Device
 	if target != s.phase {
 		if int(target) >= 0 && int(target) < dev.NumStates() && dev.Trans[s.phase][target].Latency >= 0 {
-			if r := s.cfg.Resource; r != nil &&
-				!r.AllowTransition(now, s, dev.States[target].Power-dev.States[s.phase].Power) {
+			if s.resAllow != nil &&
+				!s.resAllow(now, s, dev.States[target].Power-dev.States[s.phase].Power) {
 				// Budget-denied: the device stays put this interval and
 				// the policy retries at its next decision point. Falls
 				// through to the wake-timer logic below like any other

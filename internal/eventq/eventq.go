@@ -13,8 +13,11 @@
 // a pooled event arena:
 //
 //   - Events live in a flat arena ([]event) and are addressed by index;
-//     the heap is a []int32 of arena indices, so sifting moves 4-byte
-//     handles instead of interface values and performs no boxing.
+//     the heap stores (time, seq, index) triples inline, so every sift
+//     comparison reads the keys from the heap slice itself — no
+//     dependent load into the arena per comparison, which is what made
+//     heap maintenance the dominant cost of shared-kernel (coupled
+//     fleet) simulations with a few dozen standing events.
 //   - Fired and canceled events return to a free list and are reused by
 //     later Schedule calls, so a simulation in steady state (every handler
 //     rescheduling its successor, as the continuous-time simulator does)
@@ -59,6 +62,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Handler is the callback invoked when an event fires. The kernel passes
@@ -90,6 +94,60 @@ type event struct {
 	next    int32  // free-list / calendar-chain link (slot+1 form)
 }
 
+// heapNode is one heap entry: the (time, seq) ordering key copied
+// inline next to the arena index it stands for, so sift comparisons
+// never load from the arena. The keys are immutable while queued
+// (Cancel removes and re-inserts; nothing mutates a pending event's
+// time), so the copies cannot go stale.
+//
+// The time half of the key is stored as its IEEE-754 bit pattern.
+// Simulation times are never negative (Schedule rejects t < Now and
+// the clock starts at 0) and never NaN/Inf, and over nonnegative
+// normalized floats the bit pattern orders exactly as the value does —
+// so the whole (time, seq) key compares as one 128-bit unsigned
+// integer. timeKey normalizes -0.0 to +0.0 to keep that true at zero.
+type heapNode struct {
+	key uint64 // math.Float64bits of the event time (see timeKey)
+	seq uint64
+	idx int32
+}
+
+// timeKey maps a nonnegative event time to its order-preserving
+// integer key.
+func timeKey(t float64) uint64 {
+	if t == 0 {
+		return 0 // normalize -0.0
+	}
+	return math.Float64bits(t)
+}
+
+// nodeLessBit reports a < b by (time, seq) order — earlier first, FIFO
+// on ties — as a 0/1 integer. The lexicographic compare runs as a
+// 128-bit unsigned subtract (two sub-with-borrow ops) whose final
+// borrow IS the result, so no flag materialization and no branch:
+// heap keys look random to the branch predictor, and one mispredict
+// per comparison is what made sifting dominate coupled-fleet profiles.
+func nodeLessBit(a, b heapNode) uint64 {
+	_, borrow := bits.Sub64(a.seq, b.seq, 0)
+	_, borrow = bits.Sub64(a.key, b.key, borrow)
+	return borrow
+}
+
+// nodeLess is nodeLessBit as a bool, for the sift paths whose
+// termination tests must branch anyway.
+func nodeLess(a, b heapNode) bool { return nodeLessBit(a, b) != 0 }
+
+// minChild4 returns the index of the least of the four children
+// h[c..c+3], selecting each tournament winner with mask arithmetic
+// instead of a data-dependent branch (the compiler does not convert
+// these to conditional moves on its own).
+func minChild4(h []heapNode, c int) int {
+	b0 := c + int(nodeLessBit(h[c+1], h[c]))
+	b1 := c + 2 + int(nodeLessBit(h[c+3], h[c+2]))
+	d := -int(nodeLessBit(h[b1], h[b0]))
+	return b0 ^ ((b0 ^ b1) & d)
+}
+
 // Kernel is a discrete-event simulation executive. It is not safe for
 // concurrent use; simulations that need parallelism run one Kernel per
 // goroutine with split rng streams.
@@ -100,8 +158,8 @@ type event struct {
 type Kernel struct {
 	now     float64
 	arena   []event
-	heap    []int32 // arena indices ordered as a 4-ary min-heap by (time, seq)
-	free    int32   // free-list head (slot+1 form), 0 = empty
+	heap    []heapNode // (time, seq, arena index) ordered as a 4-ary min-heap
+	free    int32      // free-list head (slot+1 form), 0 = empty
 	seq     uint64
 	fired   uint64
 	stopped bool
@@ -128,8 +186,8 @@ func (k *Kernel) Reset() {
 	if k.cal {
 		k.calReset()
 	} else {
-		for _, idx := range k.heap {
-			k.release(idx)
+		for _, nd := range k.heap {
+			k.release(nd.idx)
 		}
 		k.heap = k.heap[:0]
 	}
@@ -227,7 +285,7 @@ func (k *Kernel) Schedule(t float64, fn Handler) (Ref, error) {
 		k.calInsert(idx)
 	} else {
 		i := len(k.heap)
-		k.heap = append(k.heap, idx)
+		k.heap = append(k.heap, heapNode{key: timeKey(e.time), seq: e.seq, idx: idx})
 		e.heapIdx = int32(i)
 		k.siftUp(i)
 	}
@@ -274,15 +332,7 @@ func (k *Kernel) Step() bool {
 		if len(k.heap) == 0 {
 			return false
 		}
-		idx = k.heap[0]
-		n := len(k.heap) - 1
-		last := k.heap[n]
-		k.heap = k.heap[:n]
-		if n > 0 {
-			k.heap[0] = last
-			k.arena[last].heapIdx = 0
-			k.siftDown(0)
-		}
+		idx = k.popMin()
 	}
 	e := &k.arena[idx]
 	t, fn := e.time, e.fn
@@ -316,7 +366,8 @@ func (k *Kernel) Run(horizon float64) error {
 			k.Step()
 		}
 	} else {
-		for !k.stopped && len(k.heap) > 0 && k.arena[k.heap[0]].time <= horizon {
+		hkey := timeKey(horizon)
+		for !k.stopped && len(k.heap) > 0 && k.heap[0].key <= hkey {
 			k.Step()
 		}
 	}
@@ -327,6 +378,8 @@ func (k *Kernel) Run(horizon float64) error {
 }
 
 // less orders arena slots by (time, seq): earlier first, FIFO on ties.
+// The calendar backing's sorted chains use it; the heap compares its
+// inline node keys instead (nodeLess).
 func (k *Kernel) less(a, b int32) bool {
 	ea, eb := &k.arena[a], &k.arena[b]
 	if ea.time != eb.time {
@@ -338,49 +391,98 @@ func (k *Kernel) less(a, b int32) bool {
 // siftUp restores the heap property from position i toward the root.
 func (k *Kernel) siftUp(i int) {
 	h := k.heap
-	id := h[i]
+	nd := h[i]
 	for i > 0 {
 		p := (i - 1) >> 2
-		if !k.less(id, h[p]) {
+		if !nodeLess(nd, h[p]) {
 			break
 		}
 		h[i] = h[p]
-		k.arena[h[i]].heapIdx = int32(i)
+		k.arena[h[i].idx].heapIdx = int32(i)
 		i = p
 	}
-	h[i] = id
-	k.arena[id].heapIdx = int32(i)
+	h[i] = nd
+	k.arena[nd.idx].heapIdx = int32(i)
 }
 
 // siftDown restores the heap property from position i toward the leaves.
+// The common interior case (all four children present) finds the min
+// child by pairwise tournament — two independent comparisons feeding a
+// final — with each winner selected by a conditional move rather than a
+// data-dependent branch.
 func (k *Kernel) siftDown(i int) {
 	h := k.heap
 	n := len(h)
-	id := h[i]
+	nd := h[i]
 	for {
 		c := i<<2 + 1
 		if c >= n {
 			break
 		}
-		end := c + 4
-		if end > n {
-			end = n
-		}
-		best := c
-		for j := c + 1; j < end; j++ {
-			if k.less(h[j], h[best]) {
-				best = j
+		var best int
+		if c+4 <= n {
+			best = minChild4(h, c)
+		} else {
+			best = c
+			for j := c + 1; j < n; j++ {
+				if nodeLess(h[j], h[best]) {
+					best = j
+				}
 			}
 		}
-		if !k.less(h[best], id) {
+		if !nodeLess(h[best], nd) {
 			break
 		}
 		h[i] = h[best]
-		k.arena[h[i]].heapIdx = int32(i)
+		k.arena[h[i].idx].heapIdx = int32(i)
 		i = best
 	}
-	h[i] = id
-	k.arena[id].heapIdx = int32(i)
+	h[i] = nd
+	k.arena[nd.idx].heapIdx = int32(i)
+}
+
+// popMin removes and returns the arena index of the heap minimum using
+// a bottom-up ("hole percolation") delete-min: the root hole descends
+// along the min-child path without comparing against the displaced last
+// element, which is then dropped into the bottom hole and sifted up —
+// almost always zero steps, since it came from the bottom. That saves
+// one comparison per level over the classic sift-down of the last
+// element, which essentially never stops early.
+func (k *Kernel) popMin() int32 {
+	h := k.heap
+	idx := h[0].idx
+	n := len(h) - 1
+	last := h[n]
+	k.heap = h[:n]
+	if n == 0 {
+		return idx
+	}
+	h = k.heap
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		var best int
+		if c+4 <= n {
+			best = minChild4(h, c)
+		} else {
+			best = c
+			for j := c + 1; j < n; j++ {
+				if nodeLess(h[j], h[best]) {
+					best = j
+				}
+			}
+		}
+		h[i] = h[best]
+		k.arena[h[i].idx].heapIdx = int32(i)
+		i = best
+	}
+	h[i] = last
+	k.arena[last.idx].heapIdx = int32(i)
+	k.siftUp(i)
+	return idx
 }
 
 // removeAt deletes the heap entry at position i, preserving order.
@@ -392,8 +494,8 @@ func (k *Kernel) removeAt(i int) {
 		return
 	}
 	k.heap[i] = last
-	k.arena[last].heapIdx = int32(i)
-	if i > 0 && k.less(last, k.heap[(i-1)>>2]) {
+	k.arena[last.idx].heapIdx = int32(i)
+	if i > 0 && nodeLess(last, k.heap[(i-1)>>2]) {
 		k.siftUp(i)
 	} else {
 		k.siftDown(i)

@@ -1,0 +1,40 @@
+package eventq
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// BenchmarkKernelHoldSweep measures the steady-state schedule+fire cost
+// of both kernel backings as a function of the standing event
+// population ("hold" size), under the classic uniform-random hold
+// model: every fired event immediately reschedules one successor at a
+// random offset. It is the microbenchmark half of the DESIGN.md §7
+// kernel decision table — the heap wins small holds, the calendar's
+// O(1) dequeue wins large uniform-random ones. NOTE: the crossover it
+// shows does NOT transfer to coupled fleet groups, whose events
+// cluster at synchronized governor ticks; the decision table for
+// KernelAuto is measured on the real workload instead
+// (BenchmarkFleetCoupledKernelSweep at the repo root).
+func BenchmarkKernelHoldSweep(b *testing.B) {
+	for _, kc := range kernelConstructors {
+		for _, hold := range []int{4, 8, 16, 24, 32, 48, 64, 128, 256, 1024, 4096} {
+			kc, hold := kc, hold
+			b.Run(kc.name+"/hold="+strconv.Itoa(hold), func(b *testing.B) {
+				k := kc.newK()
+				s := rng.New(1)
+				fn := func(float64) {}
+				for i := 0; i < hold; i++ {
+					k.Schedule(s.Float64(), fn)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					k.Schedule(k.Now()+s.Float64(), fn)
+					k.Step()
+				}
+			})
+		}
+	}
+}

@@ -174,7 +174,7 @@ func TestFleetShardLoopAllocationFree(t *testing.T) {
 // pooled kernel events and scratch state. Part of the CI
 // allocation-regression step (AllocationFree name match).
 func TestFleetFaultedShardAllocationFree(t *testing.T) {
-	for _, couple := range []CoupleMode{CoupleNone, CoupleChannel, CouplePower} {
+	for _, couple := range []CoupleMode{CoupleNone, CoupleChannel, CoupleGateway, CouplePower} {
 		name := string(couple)
 		if couple == CoupleNone {
 			name = "uncoupled"

@@ -216,6 +216,78 @@ func TestFleetCoupledShardAllocationFree(t *testing.T) {
 	}
 }
 
+// measureWarmShardAllocs builds a runner for spec, warms one worker
+// with a full shard cycle, and returns the steady-state allocations of
+// the next cycles — the figure the parity gate compares across specs.
+func measureWarmShardAllocs(t *testing.T, spec Spec) float64 {
+	t.Helper()
+	r, err := newRunner(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := newSummary(r, 0)
+	ws := &workerScratch{}
+	ctx := context.Background()
+	cycle := func() {
+		part, err := r.runShard(ctx, 0, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total.Merge(part)
+		r.putSummary(part)
+	}
+	cycle()
+	return testing.AllocsPerRun(16, cycle)
+}
+
+// TestFleetCoupledShardAllocationFreeParity is the coupled half of the
+// PR 10 performance contract stated as an equality, not just a zero:
+// a warm coupled shard cycle must allocate exactly as much as the
+// matched uncoupled cycle (devices, mix, horizon, shard size, and seed
+// identical; only the coupling differs). Today both sides are zero —
+// the equality keeps the gate meaningful even if a future change
+// relaxes the absolute floor, because coupling must never be the layer
+// that reintroduces steady-state allocations. The combined variant
+// repeats the comparison with the fault layer on (crash + retry on
+// both sides, scheduled channel outages on the coupled side). Part of
+// the CI allocation-regression step (AllocationFree name match).
+func TestFleetCoupledShardAllocationFreeParity(t *testing.T) {
+	base := Spec{
+		Devices:   64,
+		Classes:   DefaultMix(),
+		Mode:      ModeCT,
+		Horizon:   64,
+		ShardSize: 64,
+		Seed:      3,
+	}
+	t.Run("clean", func(t *testing.T) {
+		uncoupled := measureWarmShardAllocs(t, base)
+		spec := base
+		spec.Couple = CoupleChannel
+		spec.CoupleSize = 8
+		coupled := measureWarmShardAllocs(t, spec)
+		if coupled != uncoupled {
+			t.Fatalf("warm shard allocs: coupled %.1f != uncoupled %.1f", coupled, uncoupled)
+		}
+	})
+	t.Run("faulted", func(t *testing.T) {
+		spec := base
+		spec.Faults = &FaultSpec{CrashMTBF: 30, RepairMean: 4, FailProb: 0.1}
+		uncoupled := measureWarmShardAllocs(t, spec)
+		spec = base
+		spec.Couple = CoupleChannel
+		spec.CoupleSize = 8
+		spec.Faults = &FaultSpec{
+			CrashMTBF: 30, RepairMean: 4, FailProb: 0.1,
+			OutagePeriod: 20, OutageDuration: 3,
+		}
+		coupled := measureWarmShardAllocs(t, spec)
+		if coupled != uncoupled {
+			t.Fatalf("warm faulted shard allocs: coupled %.1f != uncoupled %.1f", coupled, uncoupled)
+		}
+	})
+}
+
 // TestMetricsViewClobberedByNextPooledInstance pins both halves of the
 // ctsim.MetricsView aliasing contract as the fleet shard fold relies on
 // it: (1) a view captured for one pooled instance IS clobbered in place

@@ -119,8 +119,13 @@ const WaitSketchAccuracy = 0.01
 type KernelKind string
 
 const (
-	// KernelHeap (the default) backs the kernel with the 4-ary
-	// index-tracked min-heap.
+	// KernelAuto (the default) picks the backing per kernel population:
+	// the 4-ary heap for the uncoupled one-sim-per-kernel loop and for
+	// every measured coupled group size (see kernelFor for the measured
+	// decision table). Output is unaffected — the kinds are
+	// bit-identical — so auto is always safe.
+	KernelAuto KernelKind = "auto"
+	// KernelHeap backs the kernel with the 4-ary index-tracked min-heap.
 	KernelHeap KernelKind = "heap"
 	// KernelCalendar backs the kernel with the O(1) calendar queue
 	// (eventq.NewCalendar).
@@ -232,8 +237,9 @@ type Spec struct {
 	ShardSize int
 	// Quantiles selects sketch (default) or exact wait percentiles.
 	Quantiles QuantileMode
-	// Kernel selects the CT event-queue backing: KernelHeap (default)
-	// or KernelCalendar. Output is bit-identical across kinds.
+	// Kernel selects the CT event-queue backing: KernelAuto (default,
+	// resolves per kernel population), KernelHeap, or KernelCalendar.
+	// Output is bit-identical across kinds.
 	Kernel KernelKind
 	// Couple selects the coupled mode's shared resource (default
 	// CoupleNone: independent instances). Requires ModeCT.
@@ -305,10 +311,10 @@ func (sp *Spec) Validate() error {
 		return fmt.Errorf("fleet: latency weight %v must be >= 0", sp.LatencyWeight)
 	}
 	if sp.Kernel == "" {
-		sp.Kernel = KernelHeap
+		sp.Kernel = KernelAuto
 	}
-	if sp.Kernel != KernelHeap && sp.Kernel != KernelCalendar {
-		return fmt.Errorf("fleet: unknown kernel %q (want %q or %q)", sp.Kernel, KernelHeap, KernelCalendar)
+	if sp.Kernel != KernelAuto && sp.Kernel != KernelHeap && sp.Kernel != KernelCalendar {
+		return fmt.Errorf("fleet: unknown kernel %q (want %q, %q, or %q)", sp.Kernel, KernelAuto, KernelHeap, KernelCalendar)
 	}
 	if sp.Kernel == KernelCalendar && sp.Mode == ModeSlot {
 		return fmt.Errorf("fleet: kernel %q applies to CT mode only (slot mode has no event kernel)", sp.Kernel)
@@ -703,7 +709,7 @@ func (r *runner) instanceCT(ctx context.Context, i int, cc *compiledClass, cs *c
 	cs.src.Reset()
 	var err error
 	if ws.sim == nil {
-		if ws.sim, err = ctsim.NewWithKernel(r.newKernel(), cs.cfg); err != nil {
+		if ws.sim, err = ctsim.NewWithKernel(r.newKernel(1), cs.cfg); err != nil {
 			return err
 		}
 		// Instances never run past the horizon, so events landing beyond

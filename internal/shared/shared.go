@@ -46,59 +46,80 @@ type Outageable interface {
 	SetDown(down bool, now float64)
 }
 
-// fifo is a FIFO of waiting clients backed by a reusable slice. Pop
-// compacts lazily (head index) so steady-state operation does not
-// allocate once the backing array has grown to the high-water mark.
+// fifo is a FIFO of waiting clients backed by a power-of-two ring (the
+// internal/ctsim timedQueue pattern): head and tail are free-running
+// counters masked into the buffer, so push/pop are a store and a mask —
+// no append bookkeeping, no lazy compaction copy — and the buffer grows
+// only until the queue's high-water mark, after which every operation
+// is allocation-free. A coupled group's grant/wait/release traffic in
+// steady state therefore never touches the allocator.
 type fifo struct {
-	q    []ctsim.ResourceClient
-	head int
+	buf  []ctsim.ResourceClient // len is a power of two (or nil)
+	head uint32                 // next pop position (masked)
+	tail uint32                 // next push position (masked)
 }
 
-func (f *fifo) len() int { return len(f.q) - f.head }
+func (f *fifo) len() int { return int(f.tail - f.head) }
 
 func (f *fifo) push(g ctsim.ResourceClient) {
-	if f.head > 0 && f.head == len(f.q) {
-		f.q = f.q[:0]
-		f.head = 0
+	if int(f.tail-f.head) == len(f.buf) {
+		f.grow()
 	}
-	f.q = append(f.q, g)
+	f.buf[f.tail&uint32(len(f.buf)-1)] = g
+	f.tail++
+}
+
+// grow doubles the ring (minimum 4 slots), unwrapping the live window
+// into the front of the new buffer so head/tail restart at zero.
+func (f *fifo) grow() {
+	n := len(f.buf) * 2
+	if n == 0 {
+		n = 4
+	}
+	nb := make([]ctsim.ResourceClient, n)
+	cnt := f.tail - f.head
+	for i := uint32(0); i < cnt; i++ {
+		nb[i] = f.buf[(f.head+i)&uint32(len(f.buf)-1)]
+	}
+	f.buf = nb
+	f.head = 0
+	f.tail = cnt
 }
 
 func (f *fifo) pop() ctsim.ResourceClient {
-	g := f.q[f.head]
-	f.q[f.head] = nil
+	i := f.head & uint32(len(f.buf)-1)
+	g := f.buf[i]
+	f.buf[i] = nil
 	f.head++
-	if f.head == len(f.q) {
-		f.q = f.q[:0]
-		f.head = 0
-	}
 	return g
 }
 
 // remove deletes the first occurrence of g, preserving the order of
-// the remaining waiters. It reports whether g was found.
+// the remaining waiters (later entries shift one slot toward the
+// head). It reports whether g was found.
 func (f *fifo) remove(g ctsim.ResourceClient) bool {
-	for i := f.head; i < len(f.q); i++ {
-		if f.q[i] == g {
-			copy(f.q[i:], f.q[i+1:])
-			f.q[len(f.q)-1] = nil
-			f.q = f.q[:len(f.q)-1]
-			if f.head == len(f.q) {
-				f.q = f.q[:0]
-				f.head = 0
-			}
-			return true
+	mask := uint32(len(f.buf) - 1)
+	for i := f.head; i != f.tail; i++ {
+		if f.buf[i&mask] != g {
+			continue
 		}
+		for j := i; j+1 != f.tail; j++ {
+			f.buf[j&mask] = f.buf[(j+1)&mask]
+		}
+		f.tail--
+		f.buf[f.tail&mask] = nil
+		return true
 	}
 	return false
 }
 
 func (f *fifo) reset() {
-	for i := f.head; i < len(f.q); i++ {
-		f.q[i] = nil
+	mask := uint32(len(f.buf) - 1)
+	for i := f.head; i != f.tail; i++ {
+		f.buf[i&mask] = nil
 	}
-	f.q = f.q[:0]
 	f.head = 0
+	f.tail = 0
 }
 
 // Channel is a single-occupancy shared medium: at most one device in
